@@ -1,0 +1,58 @@
+"""Performance benchmarks of the substrates themselves.
+
+Not a paper artifact — these keep the simulator layers honest:
+cache-model access throughput, reuse-distance computation, the engine's
+fixed-point solve, and a real workload kernel end-to-end.
+"""
+
+import numpy as np
+
+from repro.engine import IntervalEngine
+from repro.machine import Machine, small_test_machine
+from repro.trace import reuse_distances
+from repro.workloads.registry import get_profile, get_workload
+
+
+def test_cache_access_throughput(benchmark):
+    machine = Machine(small_test_machine())
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 1 << 20, size=20_000)
+
+    def run():
+        machine.reset()
+        for line in lines:
+            machine.access(0, ip=1, line=int(line))
+        return machine.cores[0].stats.accesses
+
+    assert benchmark(run) == 20_000
+
+
+def test_reuse_distance_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 4096, size=30_000)
+    d = benchmark(reuse_distances, lines)
+    assert len(d) == 30_000
+
+
+def test_engine_solo_run(benchmark):
+    engine = IntervalEngine()
+    prof = get_profile("G-PR")
+    res = benchmark(engine.solo_run, prof, threads=4)
+    assert res.runtime_s > 0
+
+
+def test_engine_corun(benchmark):
+    engine = IntervalEngine()
+    fg, bg = get_profile("G-CC"), get_profile("Stream")
+
+    def run():
+        return engine.co_run(fg, bg, fg_solo_runtime_s=40.0, bg_solo_rate=1e10)
+
+    res = benchmark(run)
+    assert res.fg.runtime_s > 0
+
+
+def test_pagerank_kernel_end_to_end(benchmark):
+    w = get_workload("G-PR", scale=0.25)
+    ranks = benchmark(w.run)
+    assert abs(float(ranks.sum()) - 1.0) < 1e-6

@@ -1,0 +1,26 @@
+"""Table I: the application roster (and that every kernel actually runs)."""
+
+from repro.core.report import ascii_table
+from repro.workloads.registry import get_workload, list_workloads, suite_of
+
+
+def _build_roster() -> str:
+    rows = [[suite_of(name), name] for name in list_workloads()]
+    return ascii_table(
+        ["suite", "application"], rows,
+        title="Table I: applications chosen for each application suite",
+    )
+
+
+def test_table1_roster(benchmark, artifacts):
+    text = benchmark(_build_roster)
+    artifacts("table1_roster", text)
+    assert text.count("\n") >= 27 + 3
+
+
+def test_table1_kernels_instantiate(benchmark):
+    def instantiate_all():
+        return [get_workload(name) for name in list_workloads()]
+
+    kernels = benchmark(instantiate_all)
+    assert len(kernels) == 27

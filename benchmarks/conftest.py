@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (figure or
+table): the benchmark measures the experiment's runtime, and the
+rendered rows/series are written to ``benchmarks/out/<artifact>.txt``
+so the regenerated data can be compared against the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ExperimentConfig
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Callable that persists a rendered artifact and echoes it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n[artifact] {path}\n{text}")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The paper's protocol: 4 threads per app, 3 repetitions."""
+    return ExperimentConfig(threads=4, repetitions=3, jitter=0.01, seed=0)
+
+
+@pytest.fixture(scope="session")
+def exact_config() -> ExperimentConfig:
+    """Jitter-free config for artifacts where exact values are compared."""
+    return ExperimentConfig(threads=4, repetitions=1, jitter=0.0)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Calibration dashboard: model outputs vs paper targets per application.
+
+Run while tuning repro/workloads/calibration.py.  Prints, per app:
+bandwidth at 1/4/8 threads (Fig 3), speedup at 2/4/8 threads (Fig 2),
+prefetch ratio T_on/T_off (Fig 4), solo CPI / LLC MPKI / L2_PCP.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.engine import EngineConfig, IntervalEngine
+from repro.units import GB
+from repro.workloads.registry import get_all_profiles, list_workloads
+
+# (bw4T GB/s, speedup@8, prefetch T_on/T_off) rough targets from the paper.
+TARGETS = {
+    "G-BC": (14, 6.5, 0.97), "G-BFS": (10, 6.8, 0.97), "G-CC": (17.8, 6.0, 0.97),
+    "G-PR": (16, 6.0, 0.97), "G-SSSP": (11, 4.5, 0.97),
+    "P-CC": (8, 6.7, 0.97), "P-PR": (9, 6.7, 0.97), "P-SSSP": (6, 1.8, 0.98),
+    "CIFAR": (7.3, 6.3, 0.96), "MNIST": (5, 6.3, 0.97), "LSTM": (4, 6.3, 0.98),
+    "ATIS": (0.5, 1.1, 1.0),
+    "blackscholes": (0.4, 7.8, 0.99), "freqmine": (1.5, 7.6, 0.98),
+    "swaptions": (0.4, 7.5, 0.99), "streamcluster": (16, 4.5, 0.85),
+    "lulesh": (8, 7.0, 0.85), "IRSmk": (18.1, 5.0, 0.84), "AMG2006": (10, 2.4, 0.86),
+    "cactuBSSN": (5, 7.6, 0.95), "xalancbmk": (1.2, 5.0, 0.98),
+    "deepsjeng": (0.6, 7.4, 0.99), "fotonik3d": (18.4, 4.2, 0.84),
+    "mcf": (10, 6.5, 0.95), "nab": (0.8, 7.6, 0.99),
+    "Stream": (24.5, 4.6, 0.75), "Bandit": (18, 5.2, 1.0),
+}
+
+
+def main() -> None:
+    on = IntervalEngine(config=EngineConfig(prefetchers_on=True))
+    off = IntervalEngine(config=EngineConfig(prefetchers_on=False))
+    profiles = get_all_profiles()
+    names = sys.argv[1:] or list_workloads()
+    hdr = (
+        f"{'app':<14}{'bw1':>6}{'bw4':>7}{'bw8':>7}{'tgt4':>7} | "
+        f"{'sp2':>5}{'sp4':>6}{'sp8':>6}{'tgt8':>6} | "
+        f"{'pf':>6}{'tgtpf':>6} | {'cpi4':>6}{'mpki':>6}{'pcp':>5}{'rt4':>7}"
+    )
+    print(hdr)
+    print("-" * len(hdr))
+    for name in names:
+        prof = profiles[name]
+        solos = {t: on.solo_run(prof, threads=t) for t in (1, 2, 4, 8)}
+        bw = {t: solos[t].metrics.avg_bandwidth_bytes / GB for t in (1, 4, 8)}
+        sp = {t: solos[1].runtime_s / solos[t].runtime_s for t in (2, 4, 8)}
+        t_off = off.solo_run(prof, threads=4).runtime_s
+        pf = solos[4].runtime_s / t_off if t_off > 0 else float("nan")
+        tot = solos[4].metrics.total
+        tgt = TARGETS.get(name, (0, 0, 0))
+        print(
+            f"{name:<14}{bw[1]:>6.1f}{bw[4]:>7.1f}{bw[8]:>7.1f}{tgt[0]:>7.1f} | "
+            f"{sp[2]:>5.2f}{sp[4]:>6.2f}{sp[8]:>6.2f}{tgt[1]:>6.1f} | "
+            f"{pf:>6.2f}{tgt[2]:>6.2f} | "
+            f"{tot.cpi:>6.2f}{tot.llc_mpki:>6.1f}{tot.l2_pcp:>5.2f}"
+            f"{solos[4].runtime_s:>7.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — interference characterization of emerging DL, graph and HPC
+workloads under consolidation.
+
+A full reproduction of "Characterizing the Performance of Emerging Deep
+Learning, Graph, and High Performance Computing Workloads Under
+Interference" (Xu, Song, Mao — arXiv:2303.15763), built as a library:
+
+* :mod:`repro.machine` — the modelled Xeon E5-4650 platform (caches,
+  four MSR-gated hardware prefetchers, bandwidth-limited memory);
+* :mod:`repro.trace` — access streams, reuse distances, miss-ratio
+  curves, and the kernel profiler;
+* :mod:`repro.workloads` — the 25 applications of Table I plus the
+  Bandit/STREAM mini-benchmarks, each a real algorithm with a trace
+  generator, plus calibrated engine profiles;
+* :mod:`repro.engine` — the interval engine that co-executes profiles
+  under LLC sharing and memory-bus contention;
+* :mod:`repro.tools` — PCM-memory and VTune analogues;
+* :mod:`repro.core` — the paper's experiments: one runner per figure
+  and table.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_consolidation
+
+    config = ExperimentConfig(workloads=("G-CC", "fotonik3d", "swaptions"))
+    matrix = run_consolidation(config)
+    print(matrix.render_fig5())
+    print(matrix.classify("G-CC", "fotonik3d").relationship)
+"""
+
+from repro.core import (
+    ExperimentConfig,
+    PairClass,
+    classify_pair,
+    run_bandwidth_sweep,
+    run_consolidation,
+    run_gemini_vs_offenders,
+    run_gemini_vs_stream,
+    run_minibench,
+    run_pair_bandwidth,
+    run_prefetch_sensitivity,
+    run_scalability,
+    run_table4,
+)
+from repro.engine import EngineConfig, IntervalEngine
+from repro.machine import Machine, MachineSpec, xeon_e5_4650
+from repro.trace import MissRatioCurve, TraceProfiler
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.registry import (
+    get_all_profiles,
+    get_profile,
+    get_workload,
+    list_workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "ExperimentConfig",
+    "IntervalEngine",
+    "Machine",
+    "MachineSpec",
+    "MissRatioCurve",
+    "PairClass",
+    "TraceProfiler",
+    "WorkloadProfile",
+    "__version__",
+    "classify_pair",
+    "get_all_profiles",
+    "get_profile",
+    "get_workload",
+    "list_workloads",
+    "run_bandwidth_sweep",
+    "run_consolidation",
+    "run_gemini_vs_offenders",
+    "run_gemini_vs_stream",
+    "run_minibench",
+    "run_pair_bandwidth",
+    "run_prefetch_sensitivity",
+    "run_scalability",
+    "run_table4",
+    "xeon_e5_4650",
+]

@@ -1,0 +1,138 @@
+"""The paper's contribution: the interference characterization harness.
+
+One runner per paper artifact:
+
+========  ==========================================  =============================
+artifact  experiment                                  runner
+========  ==========================================  =============================
+Table I   application roster                          :func:`repro.workloads.registry.list_workloads`
+Fig 2     thread scalability curves                   :func:`run_scalability`
+Table II  Low/Medium/High scalability classes         :meth:`ScalabilityResult.table2`
+Fig 3     solo bandwidth at 1/4/8 threads             :func:`run_bandwidth_sweep`
+Fig 4     prefetcher sensitivity (MSR 0x1A4)          :func:`run_prefetch_sensitivity`
+Fig 5     625-pair consolidation heat map             :func:`run_consolidation`
+—         Harmony / Victim-Offender / Both-Victim     :func:`classify_pair`
+Table III problematic-pair bandwidth                  :func:`run_pair_bandwidth`
+Fig 6     co-run with Bandit / STREAM                 :func:`run_minibench`
+Fig 7     Gemini metrics under STREAM                 :func:`run_gemini_vs_stream`
+Fig 8     Gemini metrics under real offenders         :func:`run_gemini_vs_offenders`
+Table IV  region-level profiles (gather / UUS)        :func:`run_table4`
+========  ==========================================  =============================
+"""
+
+from repro.core.bandwidth_sweep import (
+    FIG3_THREADS,
+    BandwidthResult,
+    run_bandwidth_sweep,
+)
+from repro.core.classify import (
+    VICTIM_THRESHOLD,
+    PairClass,
+    PairVerdict,
+    classify_pair,
+)
+from repro.core.consolidation import ConsolidationMatrix, run_consolidation
+from repro.core.allocation import (
+    AllocationPoint,
+    AllocationSweep,
+    run_allocation_sweep,
+)
+from repro.core.efficiency import EfficiencyResult, EfficiencyRow, run_efficiency
+from repro.core.experiment import ExperimentConfig, Jitter, SoloCache
+from repro.core.insights import AppRoleScores, MatrixInsights
+from repro.core.predictor import (
+    DEFAULT_LEVELS,
+    BubbleUpPredictor,
+    SensitivityCurve,
+    bubble_profile,
+)
+from repro.core.minibench import (
+    MINI_BENCH_BACKGROUNDS,
+    MiniBenchResult,
+    run_minibench,
+)
+from repro.core.pair_bandwidth import (
+    TABLE3_PAIRS,
+    PairBandwidthResult,
+    PairBandwidthRow,
+    run_pair_bandwidth,
+)
+from repro.core.prefetch import (
+    SENSITIVE_THRESHOLD,
+    PrefetchResult,
+    run_prefetch_sensitivity,
+)
+from repro.core.provenance import (
+    GEMINI_APPS,
+    OFFENDERS,
+    TABLE4_SUBJECTS,
+    MetricQuad,
+    ProvenanceResult,
+    run_gemini_vs_offenders,
+    run_gemini_vs_stream,
+    run_table4,
+)
+from repro.core.report import ascii_table, csv_table, shade, text_heatmap
+from repro.core.scalability import (
+    HIGH_THRESHOLD,
+    LOW_THRESHOLD,
+    ScalabilityClass,
+    ScalabilityResult,
+    classify_speedup,
+    run_scalability,
+)
+
+__all__ = [
+    "AllocationPoint",
+    "AllocationSweep",
+    "AppRoleScores",
+    "run_allocation_sweep",
+    "BandwidthResult",
+    "BubbleUpPredictor",
+    "ConsolidationMatrix",
+    "DEFAULT_LEVELS",
+    "EfficiencyResult",
+    "EfficiencyRow",
+    "ExperimentConfig",
+    "MatrixInsights",
+    "SensitivityCurve",
+    "bubble_profile",
+    "run_efficiency",
+    "FIG3_THREADS",
+    "GEMINI_APPS",
+    "HIGH_THRESHOLD",
+    "Jitter",
+    "LOW_THRESHOLD",
+    "MINI_BENCH_BACKGROUNDS",
+    "MetricQuad",
+    "MiniBenchResult",
+    "OFFENDERS",
+    "PairBandwidthResult",
+    "PairBandwidthRow",
+    "PairClass",
+    "PairVerdict",
+    "PrefetchResult",
+    "ProvenanceResult",
+    "SENSITIVE_THRESHOLD",
+    "ScalabilityClass",
+    "ScalabilityResult",
+    "SoloCache",
+    "TABLE3_PAIRS",
+    "TABLE4_SUBJECTS",
+    "VICTIM_THRESHOLD",
+    "ascii_table",
+    "classify_pair",
+    "classify_speedup",
+    "csv_table",
+    "run_bandwidth_sweep",
+    "run_consolidation",
+    "run_gemini_vs_offenders",
+    "run_gemini_vs_stream",
+    "run_minibench",
+    "run_pair_bandwidth",
+    "run_prefetch_sensitivity",
+    "run_scalability",
+    "run_table4",
+    "shade",
+    "text_heatmap",
+]

@@ -1,0 +1,109 @@
+"""Experiment: asymmetric core-allocation sweep (extension).
+
+The paper fixes 4+4 cores per pair ("fair sharing setup", Section V)
+and notes that its solo analysis "can help choose the right
+configuration" — this experiment closes that loop.  For one pair it
+sweeps every split of the 8 cores (1+7 ... 7+1) and reports, per split:
+
+* the foreground slowdown vs its *same-thread-count* solo run (so the
+  interference effect is isolated from the parallelism change);
+* the background's relative progress rate;
+* a weighted-speedup throughput metric (sum of each side's progress
+  relative to its own 4-thread solo).
+
+For a victim/offender pair the sweep shows the policy lever: shrinking
+the offender's core share buys the victim back far more than
+proportionally, because cores are only one of the three contended
+resources (the offender's bandwidth pressure scales with its threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.report import ascii_table
+from repro.errors import ExperimentError
+from repro.workloads.registry import get_profile
+
+
+@dataclass(frozen=True)
+class AllocationPoint:
+    """Outcome of one core split."""
+
+    fg_threads: int
+    bg_threads: int
+    #: fg co-run time / fg solo time at the same thread count.
+    fg_slowdown: float
+    #: bg instruction rate / bg solo rate at the same thread count.
+    bg_relative_rate: float
+    #: fg progress rate / fg 4T-solo rate + bg progress / bg 4T-solo rate.
+    weighted_speedup: float
+
+
+@dataclass
+class AllocationSweep:
+    """All splits for one (fg, bg) pair."""
+
+    fg: str
+    bg: str
+    points: list[AllocationPoint] = field(default_factory=list)
+
+    def point(self, fg_threads: int) -> AllocationPoint:
+        for p in self.points:
+            if p.fg_threads == fg_threads:
+                return p
+        raise ExperimentError(f"no split with fg_threads={fg_threads}")
+
+    def best_split(self) -> AllocationPoint:
+        """The split maximizing weighted speedup."""
+        return max(self.points, key=lambda p: p.weighted_speedup)
+
+    def render(self) -> str:
+        headers = ["split (fg+bg)", "fg slowdown", "bg rel. rate", "weighted speedup"]
+        rows = [
+            [f"{p.fg_threads}+{p.bg_threads}", p.fg_slowdown,
+             p.bg_relative_rate, p.weighted_speedup]
+            for p in self.points
+        ]
+        return ascii_table(
+            headers, rows,
+            title=f"Core-allocation sweep: {self.fg} (fg) vs {self.bg} (bg)",
+        )
+
+
+def run_allocation_sweep(
+    fg: str,
+    bg: str,
+    config: ExperimentConfig | None = None,
+) -> AllocationSweep:
+    """Sweep all fg+bg core splits of the machine for one pair."""
+    config = config if config is not None else ExperimentConfig()
+    engine = config.make_engine()
+    cache = SoloCache(engine)
+    n_cores = config.spec.n_cores
+    fg_prof, bg_prof = get_profile(fg), get_profile(bg)
+    sweep = AllocationSweep(fg=fg, bg=bg)
+    fg_ref_rate = cache.instruction_rate(fg, threads=4)
+    bg_ref_rate = cache.instruction_rate(bg, threads=4)
+    for fg_t in range(1, n_cores):
+        bg_t = n_cores - fg_t
+        fg_solo = cache.runtime(fg, threads=fg_t)
+        res = engine.co_run(
+            fg_prof, bg_prof,
+            threads=fg_t, bg_threads=bg_t,
+            fg_solo_runtime_s=fg_solo,
+            bg_solo_rate=cache.instruction_rate(bg, threads=bg_t),
+        )
+        fg_rate = res.fg.total.instructions / res.fg.runtime_s
+        bg_rate = res.bg.total.instructions / res.fg.runtime_s
+        sweep.points.append(
+            AllocationPoint(
+                fg_threads=fg_t,
+                bg_threads=bg_t,
+                fg_slowdown=res.normalized_time,
+                bg_relative_rate=res.bg_relative_rate,
+                weighted_speedup=fg_rate / fg_ref_rate + bg_rate / bg_ref_rate,
+            )
+        )
+    return sweep

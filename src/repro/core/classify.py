@@ -1,0 +1,81 @@
+"""Pair-relationship classification (Section V's taxonomy).
+
+The paper classifies a consolidation pair (A, B) by the runtime
+increase each side suffers, with a 1.5x threshold:
+
+* **Harmony** — both sides below 1.5x;
+* **Victim-Offender** — exactly one side at or above 1.5x (that side is
+  the victim, the other the offender);
+* **Both-Victim** — both sides at or above 1.5x ("should definitely be
+  avoided for cloud/warehouse-scale computing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ExperimentError
+
+#: The paper's slowdown threshold for calling an application a victim.
+VICTIM_THRESHOLD = 1.5
+
+
+class PairClass(Enum):
+    """Section V's three consolidation relationships."""
+
+    HARMONY = "Harmony"
+    VICTIM_OFFENDER = "Victim-Offender"
+    BOTH_VICTIM = "Both-Victim"
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """Classification of one (A, B) pair from both slowdowns."""
+
+    app_a: str
+    app_b: str
+    slowdown_a: float
+    slowdown_b: float
+    relationship: PairClass
+
+    @property
+    def victim(self) -> str | None:
+        """The victim in a Victim-Offender pair (None otherwise)."""
+        if self.relationship is not PairClass.VICTIM_OFFENDER:
+            return None
+        return self.app_a if self.slowdown_a >= VICTIM_THRESHOLD else self.app_b
+
+    @property
+    def offender(self) -> str | None:
+        """The offender in a Victim-Offender pair (None otherwise)."""
+        victim = self.victim
+        if victim is None:
+            return None
+        return self.app_b if victim == self.app_a else self.app_a
+
+
+def classify_pair(
+    app_a: str,
+    app_b: str,
+    slowdown_a: float,
+    slowdown_b: float,
+    *,
+    threshold: float = VICTIM_THRESHOLD,
+) -> PairVerdict:
+    """Classify one pair from its two normalized execution times."""
+    if slowdown_a <= 0 or slowdown_b <= 0:
+        raise ExperimentError("slowdowns must be positive")
+    a_victim = slowdown_a >= threshold
+    b_victim = slowdown_b >= threshold
+    if a_victim and b_victim:
+        rel = PairClass.BOTH_VICTIM
+    elif a_victim or b_victim:
+        rel = PairClass.VICTIM_OFFENDER
+    else:
+        rel = PairClass.HARMONY
+    return PairVerdict(
+        app_a=app_a, app_b=app_b,
+        slowdown_a=slowdown_a, slowdown_b=slowdown_b,
+        relationship=rel,
+    )

@@ -1,0 +1,107 @@
+"""Experiment: the 625-pair consolidation sweep (Fig 5).
+
+Every application is paired with every application (including itself),
+foreground x background, 4+4 exclusive cores.  The background loops
+for as long as the foreground runs; the cell value is the foreground's
+execution time normalized to its solo run — exactly Fig 5's heat map.
+The symmetric classification of Section V derives from the matrix:
+pair (A, B)'s two slowdowns are cell (A, B) and cell (B, A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classify import PairClass, PairVerdict, classify_pair
+from repro.core.experiment import ExperimentConfig, Jitter, SoloCache
+from repro.core.report import csv_table, text_heatmap
+from repro.errors import ExperimentError
+from repro.workloads.registry import get_profile
+
+
+@dataclass
+class ConsolidationMatrix:
+    """Fig 5: normalized foreground times for all fg x bg pairs."""
+
+    workloads: tuple[str, ...]
+    #: (foreground, background) -> normalized execution time.
+    cells: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def value(self, fg: str, bg: str) -> float:
+        try:
+            return self.cells[(fg, bg)]
+        except KeyError:
+            raise ExperimentError(f"no cell for fg={fg!r} bg={bg!r}") from None
+
+    def classify(self, app_a: str, app_b: str) -> PairVerdict:
+        """Section V relationship of the unordered pair (A, B)."""
+        return classify_pair(
+            app_a, app_b, self.value(app_a, app_b), self.value(app_b, app_a)
+        )
+
+    def classification_counts(self) -> dict[PairClass, int]:
+        """How many unordered pairs fall in each relationship."""
+        counts = {c: 0 for c in PairClass}
+        apps = self.workloads
+        for i, a in enumerate(apps):
+            for b in apps[i + 1 :]:
+                counts[self.classify(a, b).relationship] += 1
+        return counts
+
+    def victims_of(self, offender: str, *, threshold: float = 1.5) -> list[str]:
+        """Foreground apps slowed >= threshold by this background app."""
+        return sorted(
+            fg for fg in self.workloads
+            if fg != offender and self.value(fg, offender) >= threshold
+        )
+
+    def friendly_backgrounds(self, *, limit: float = 1.1) -> list[str]:
+        """Backgrounds that never slow any foreground beyond ``limit``
+        (the paper's swaptions/nab/deepsjeng/blackscholes set)."""
+        return sorted(
+            bg for bg in self.workloads
+            if all(self.value(fg, bg) <= limit for fg in self.workloads)
+        )
+
+    def render_fig5(self) -> str:
+        return text_heatmap(
+            self.cells, list(self.workloads), list(self.workloads)
+        )
+
+    def to_csv(self) -> str:
+        headers = ["fg\\bg"] + list(self.workloads)
+        rows = [
+            [fg] + [self.cells[(fg, bg)] for bg in self.workloads]
+            for fg in self.workloads
+        ]
+        return csv_table(headers, rows)
+
+
+def run_consolidation(
+    config: ExperimentConfig | None = None,
+    *,
+    foregrounds: tuple[str, ...] | None = None,
+    backgrounds: tuple[str, ...] | None = None,
+) -> ConsolidationMatrix:
+    """Run the Fig 5 sweep (subsets allowed for quick looks)."""
+    config = config if config is not None else ExperimentConfig()
+    fgs = foregrounds if foregrounds is not None else config.workloads
+    bgs = backgrounds if backgrounds is not None else config.workloads
+    engine = config.make_engine()
+    cache = SoloCache(engine)
+    jitter = Jitter(config)
+    matrix = ConsolidationMatrix(workloads=tuple(dict.fromkeys(fgs + bgs)))
+    profiles = {name: get_profile(name) for name in matrix.workloads}
+    for fg in fgs:
+        fg_solo = cache.runtime(fg, threads=config.threads)
+        for bg in bgs:
+            res = engine.co_run(
+                profiles[fg],
+                profiles[bg],
+                threads=config.threads,
+                fg_solo_runtime_s=fg_solo,
+                bg_solo_rate=cache.instruction_rate(bg, threads=config.threads),
+            )
+            measured = jitter.measure(res.fg.runtime_s)
+            matrix.cells[(fg, bg)] = measured / fg_solo
+    return matrix

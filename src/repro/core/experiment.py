@@ -1,0 +1,92 @@
+"""Shared experiment infrastructure.
+
+Every paper experiment runs through :class:`ExperimentConfig`: which
+applications, how many threads (the paper pins 4 per app), how many
+repetitions (the paper runs each pair three times), and a seeded
+measurement-jitter model so the repetition protocol is exercised the
+way it is on real hardware.  :class:`SoloCache` memoizes solo runs —
+the 625-pair sweep reuses 25 solo references instead of recomputing
+them 1250 times.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import EngineConfig, IntervalEngine, SoloRunResult
+from repro.errors import ExperimentError
+from repro.machine.spec import MachineSpec, xeon_e5_4650
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.calibration import APPLICATIONS
+from repro.workloads.registry import get_profile
+
+
+@dataclass
+class ExperimentConfig:
+    """Common knobs for all experiments."""
+
+    threads: int = 4
+    repetitions: int = 3
+    #: Fractional stddev of multiplicative measurement noise applied to
+    #: runtimes per repetition (0 disables the jitter model).
+    jitter: float = 0.01
+    seed: int = 0
+    workloads: tuple[str, ...] = APPLICATIONS
+    spec: MachineSpec = field(default_factory=xeon_e5_4650)
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ExperimentError("repetitions must be >= 1")
+        if self.jitter < 0:
+            raise ExperimentError("jitter must be >= 0")
+        if not self.workloads:
+            raise ExperimentError("need at least one workload")
+
+    def make_engine(self) -> IntervalEngine:
+        """A fresh engine honouring this config."""
+        return IntervalEngine(spec=self.spec, config=self.engine_config)
+
+
+class Jitter:
+    """Seeded multiplicative measurement noise (the 'three runs' model)."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self._rng = np.random.default_rng(config.seed)
+        self._sigma = config.jitter
+        self._reps = config.repetitions
+
+    def measure(self, true_value: float) -> float:
+        """Median of ``repetitions`` noisy observations of a value."""
+        if self._sigma == 0 or true_value == 0:
+            return true_value
+        obs = true_value * (1.0 + self._rng.normal(0.0, self._sigma, self._reps))
+        return float(statistics.median(obs))
+
+
+class SoloCache:
+    """Memoized solo runs keyed by (workload, threads)."""
+
+    def __init__(self, engine: IntervalEngine) -> None:
+        self.engine = engine
+        self._cache: dict[tuple[str, int], SoloRunResult] = {}
+
+    def get(self, name: str, *, threads: int, profile: WorkloadProfile | None = None) -> SoloRunResult:
+        """Solo result for one workload at a thread count."""
+        key = (name, threads)
+        if key not in self._cache:
+            prof = profile if profile is not None else get_profile(name)
+            self._cache[key] = self.engine.solo_run(prof, threads=threads)
+        return self._cache[key]
+
+    def runtime(self, name: str, *, threads: int) -> float:
+        """Solo runtime (seconds)."""
+        return self.get(name, threads=threads).runtime_s
+
+    def instruction_rate(self, name: str, *, threads: int) -> float:
+        """Solo instruction throughput (instructions / second)."""
+        res = self.get(name, threads=threads)
+        return res.metrics.total.instructions / res.runtime_s

@@ -1,0 +1,112 @@
+"""Experiment: bandwidth of problematic co-running pairs (Table III).
+
+The paper picks five Victim-Offender / Both-Victim pairs and compares
+the pair's combined PCM bandwidth with each member's solo bandwidth;
+the finding is that every pair consumes *less* than the sum of its
+members' solo bandwidths (the bus is the shared bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.report import ascii_table
+from repro.tools.pcm import PcmMemoryMonitor
+from repro.units import GB
+from repro.workloads.registry import get_profile
+
+#: Table III's five pairs (A, B); B is the background member.
+TABLE3_PAIRS: tuple[tuple[str, str], ...] = (
+    ("CIFAR", "fotonik3d"),
+    ("IRSmk", "fotonik3d"),
+    ("G-CC", "fotonik3d"),
+    ("G-CC", "IRSmk"),
+    ("G-CC", "CIFAR"),
+)
+
+
+@dataclass(frozen=True)
+class PairBandwidthRow:
+    """One Table III row (all values GB/s)."""
+
+    app_a: str
+    app_b: str
+    pair_bandwidth: float
+    solo_a: float
+    solo_b: float
+
+    @property
+    def below_sum(self) -> bool:
+        """The paper's invariant: pair < solo_a + solo_b."""
+        return self.pair_bandwidth < self.solo_a + self.solo_b
+
+
+@dataclass
+class PairBandwidthResult:
+    """Table III."""
+
+    rows: list[PairBandwidthRow] = field(default_factory=list)
+
+    def row(self, app_a: str, app_b: str) -> PairBandwidthRow:
+        for r in self.rows:
+            if (r.app_a, r.app_b) == (app_a, app_b):
+                return r
+        raise KeyError((app_a, app_b))
+
+    def render_table3(self) -> str:
+        headers = ["pair", "pair GB/s", "A solo GB/s", "B solo GB/s", "< sum"]
+        rows = [
+            [
+                f"{r.app_a}(A) with {r.app_b}(B)",
+                r.pair_bandwidth,
+                r.solo_a,
+                r.solo_b,
+                "yes" if r.below_sum else "NO",
+            ]
+            for r in self.rows
+        ]
+        return ascii_table(
+            headers, rows,
+            title="Table III: bandwidth consumption of specific co-running pairs",
+        )
+
+
+def run_pair_bandwidth(
+    config: ExperimentConfig | None = None,
+    *,
+    pairs: tuple[tuple[str, str], ...] = TABLE3_PAIRS,
+    pcm_granularity_s: float = 10.0,
+) -> PairBandwidthResult:
+    """Run Table III."""
+    config = config if config is not None else ExperimentConfig()
+    engine = config.make_engine()
+    cache = SoloCache(engine)
+    monitor = PcmMemoryMonitor(granularity_s=pcm_granularity_s)
+    result = PairBandwidthResult()
+    for app_a, app_b in pairs:
+        solo_a = cache.get(app_a, threads=config.threads)
+        solo_b = cache.get(app_b, threads=config.threads)
+        co = engine.co_run(
+            get_profile(app_a),
+            get_profile(app_b),
+            threads=config.threads,
+            fg_solo_runtime_s=solo_a.runtime_s,
+            bg_solo_rate=solo_b.metrics.total.instructions / solo_b.runtime_s,
+        )
+        report = monitor.observe(co.timeline)
+        pair_bw = report.average_bytes_per_s(None)
+        if pair_bw == 0.0:  # run shorter than one PCM window
+            pair_bw = (
+                co.fg.avg_bandwidth_bytes + co.bg.avg_bandwidth_bytes
+            )
+        result.rows.append(
+            PairBandwidthRow(
+                app_a=app_a,
+                app_b=app_b,
+                pair_bandwidth=pair_bw / GB,
+                solo_a=solo_a.metrics.avg_bandwidth_bytes / GB,
+                solo_b=solo_b.metrics.avg_bandwidth_bytes / GB,
+            )
+        )
+    return result

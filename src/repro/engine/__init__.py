@@ -1,0 +1,36 @@
+"""Interval engine: analytic co-execution simulation (Section V's
+methodology as a predictive model)."""
+
+from repro.engine.bandwidth import BusState, resolve_bus
+from repro.engine.interval import (
+    PREFETCH_COVERAGE,
+    PREFETCH_HIDE,
+    PREFETCH_OVERFETCH,
+    EngineConfig,
+    IntervalEngine,
+)
+from repro.engine.llc_sharing import MIN_SHARE_FRACTION, allocate_llc
+from repro.engine.results import (
+    AppMetrics,
+    BandwidthSample,
+    CoRunResult,
+    RegionMetrics,
+    SoloRunResult,
+)
+
+__all__ = [
+    "AppMetrics",
+    "BandwidthSample",
+    "BusState",
+    "CoRunResult",
+    "EngineConfig",
+    "IntervalEngine",
+    "MIN_SHARE_FRACTION",
+    "PREFETCH_COVERAGE",
+    "PREFETCH_HIDE",
+    "PREFETCH_OVERFETCH",
+    "RegionMetrics",
+    "SoloRunResult",
+    "allocate_llc",
+    "resolve_bus",
+]

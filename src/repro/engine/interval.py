@@ -1,0 +1,453 @@
+"""The interval engine: fast analytic co-execution simulation.
+
+Each application is a :class:`~repro.workloads.base.WorkloadProfile`.
+The engine advances wall-clock time in steps bounded by phase
+boundaries; inside each step it solves a damped fixed point coupling
+three mechanisms:
+
+1. **CPI stack** — ``CPI = 1/IPC_core + sync(t) + max(latency stall,
+   bandwidth stall)`` where the latency stall walks L2 misses through
+   the LLC (hit) or DRAM (miss, queue-inflated), divided by the phase's
+   memory-level parallelism, with prefetch-covered misses mostly hidden;
+2. **LLC sharing** — capacity splits by insertion pressure capped by
+   footprint (:mod:`repro.engine.llc_sharing`); each app's miss ratio
+   comes from its miss-ratio curve at its current share;
+3. **bus contention** — sub-saturation latency inflation plus
+   proportional throughput division at saturation
+   (:mod:`repro.engine.bandwidth`).
+
+The same engine runs solo characterization (Figs 2–4), 625-pair
+consolidation (Fig 5) and the provenance profiling (Figs 7–8), so every
+co-run number *emerges* from these mechanisms rather than being looked
+up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EngineError
+from repro.engine.bandwidth import resolve_bus
+from repro.engine.llc_sharing import allocate_llc
+from repro.engine.results import (
+    AppMetrics,
+    BandwidthSample,
+    CoRunResult,
+    SoloRunResult,
+)
+from repro.machine.spec import MachineSpec, xeon_e5_4650
+from repro.units import CACHE_LINE
+from repro.workloads.base import RegionProfile, WorkloadProfile
+
+#: Fraction of a phase's "regular" L2-miss traffic the prefetchers cover.
+PREFETCH_COVERAGE = 0.85
+#: Fraction of a covered miss's DRAM latency that prefetching hides.
+PREFETCH_HIDE = 0.88
+#: Useless prefetched bytes per covered-miss byte (overfetch tax).
+PREFETCH_OVERFETCH = 0.30
+#: Super-linear weighting of LLC insertion pressure: heavy inserters
+#: (STREAM) displace light ones more than proportionally, reproducing
+#: the ~2.6x victim-MPKI inflation of Fig 7c.
+LLC_PRESSURE_EXP = 1.6
+#: Fixed-point iteration limits.
+_MAX_ITER = 60
+_TOL = 1e-5
+_DAMP = 0.5
+#: Step-count safety valve.
+_MAX_STEPS = 200_000
+
+
+@dataclass
+class _LiveApp:
+    """Mutable execution state of one co-running application."""
+
+    profile: WorkloadProfile
+    threads: int
+    looping: bool
+    metrics: AppMetrics
+    region_i: int = 0
+    instr_done_in_region: float = 0.0
+    runs_completed: int = 0
+    finished: bool = False
+    total_instructions: float = 0.0
+
+    @property
+    def region(self) -> RegionProfile:
+        return self.profile.regions[self.region_i]
+
+    def region_instr(self) -> float:
+        """Dynamic instructions of the current region at this thread
+        count (work inflation applied)."""
+        work = self.profile.total_kinstr * 1000.0 * self.profile.scaling.work_factor(self.threads)
+        return work * self.region.weight
+
+    def effective_threads(self) -> int:
+        return 1 if self.region.serial else self.threads
+
+
+@dataclass(frozen=True)
+class _PhaseSolution:
+    """Fixed-point outcome for one app during one step."""
+
+    cpi: float
+    sync_cpi: float
+    stall_cpi: float
+    rate_per_thread: float  # instructions / s
+    bytes_per_s: float      # app-wide bus traffic
+    llc_miss_ratio: float
+    llc_alloc_bytes: float
+
+
+@dataclass
+class EngineConfig:
+    """Tunable engine knobs (ablation benches sweep these)."""
+
+    prefetchers_on: bool = True
+    #: Count prefetch overfetch against the bus (ablation #3).
+    prefetch_bandwidth_tax: bool = True
+    #: LLC policy: "pressure" (default), "even", or "static" (no
+    #: sharing penalty — infinite LLC for everyone; ablation #1).
+    llc_policy: str = "pressure"
+    #: Apply memory-level-parallelism overlap (ablation #4).
+    use_mlp: bool = True
+    #: Apply the queueing latency curve (ablation #2).
+    use_queueing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.llc_policy not in {"pressure", "even", "static"}:
+            raise EngineError(f"unknown llc_policy {self.llc_policy!r}")
+
+
+class IntervalEngine:
+    """Analytic co-execution simulator over WorkloadProfiles."""
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else xeon_e5_4650()
+        self.config = config if config is not None else EngineConfig()
+
+    # -- fixed point -----------------------------------------------------
+
+    def _solve(
+        self,
+        apps: list[_LiveApp],
+        alloc0: list[float] | None,
+        rho0: float,
+    ) -> tuple[list[_PhaseSolution], list[float], float]:
+        spec = self.spec
+        cfg = self.config
+        freq = spec.freq_hz
+        llc_cap = float(spec.llc.size_bytes)
+        llc_lat = float(spec.llc.latency_cycles)
+        idle_lat = float(spec.memory.idle_latency_cycles)
+        n = len(apps)
+
+        alloc = list(alloc0) if alloc0 is not None else [llc_cap / n] * n
+        rho = rho0
+        sols: list[_PhaseSolution] = []
+        for _ in range(_MAX_ITER):
+            from repro.machine.memory import queueing_latency_multiplier
+
+            qmult = (
+                queueing_latency_multiplier(rho, spec.memory)
+                if cfg.use_queueing
+                else 1.0
+            )
+            miss_ratios: list[float] = []
+            stalls_lat: list[float] = []
+            bpis: list[float] = []
+            cpis: list[float] = []
+            rates: list[float] = []
+            demands: list[float] = []
+            syncs: list[float] = []
+            for i, app in enumerate(apps):
+                r = app.region
+                if cfg.llc_policy == "static":
+                    m = r.mrc.miss_ratio(min(r.footprint_bytes, llc_cap))
+                else:
+                    m = r.mrc.miss_ratio(alloc[i])
+                cov = r.regularity * PREFETCH_COVERAGE if cfg.prefetchers_on else 0.0
+                mem_lat = idle_lat * qmult
+                l_eff = llc_lat + m * (1.0 - PREFETCH_HIDE * cov) * mem_lat
+                mlp = r.mlp if cfg.use_mlp else 1.0
+                stall_lat = (r.l2_mpki / 1000.0) * l_eff / mlp
+                overfetch = PREFETCH_OVERFETCH * cov if cfg.prefetch_bandwidth_tax else 0.0
+                bpi = (r.l2_mpki / 1000.0) * CACHE_LINE * m * (
+                    1.0 + r.write_fraction + overfetch
+                )
+                sync = self.profile_sync(app)
+                cpi = 1.0 / r.ipc_core + sync + stall_lat
+                t_eff = app.effective_threads()
+                rate = freq / cpi
+                miss_ratios.append(m)
+                stalls_lat.append(stall_lat)
+                bpis.append(bpi)
+                cpis.append(cpi)
+                syncs.append(sync)
+                rates.append(rate)
+                demands.append(bpi * rate * t_eff)
+
+            bus = resolve_bus(
+                demands,
+                spec.memory,
+                bw_efficiencies=[a.region.bw_efficiency for a in apps],
+                regularities=[a.region.regularity for a in apps],
+            )
+            new_sols: list[_PhaseSolution] = []
+            for i, app in enumerate(apps):
+                r = app.region
+                t_eff = app.effective_threads()
+                stall = stalls_lat[i]
+                cpi = 1.0 / r.ipc_core + syncs[i] + stall
+                rate = freq / cpi
+                if bpis[i] > 0:
+                    # Roofline: execution cannot outrun the bandwidth
+                    # this pattern can extract — its own efficiency cap,
+                    # and its fair share when the bus saturates.
+                    cap = r.bw_efficiency * spec.memory.peak_bandwidth_bytes
+                    if bus.saturated and bus.achieved[i] > 0:
+                        cap = min(cap, bus.achieved[i])
+                    rate_bw = cap / (bpis[i] * t_eff)
+                    if rate_bw < rate:
+                        rate = rate_bw
+                        cpi = freq / rate
+                        stall = cpi - 1.0 / r.ipc_core - syncs[i]
+                new_sols.append(
+                    _PhaseSolution(
+                        cpi=cpi,
+                        sync_cpi=syncs[i],
+                        stall_cpi=stall,
+                        rate_per_thread=rate,
+                        bytes_per_s=bpis[i] * rate * t_eff,
+                        llc_miss_ratio=miss_ratios[i],
+                        llc_alloc_bytes=alloc[i],
+                    )
+                )
+
+            # LLC reallocation from insertion pressures.
+            if cfg.llc_policy == "pressure":
+                pressures = [
+                    (
+                        (a.region.l2_mpki / 1000.0)
+                        * new_sols[i].llc_miss_ratio
+                        * new_sols[i].rate_per_thread
+                        * a.effective_threads()
+                    )
+                    ** LLC_PRESSURE_EXP
+                    for i, a in enumerate(apps)
+                ]
+                footprints = [a.region.footprint_bytes for a in apps]
+                target_alloc = allocate_llc(llc_cap, pressures, footprints)
+            elif cfg.llc_policy == "even":
+                target_alloc = [
+                    min(a.region.footprint_bytes, llc_cap / n) for a in apps
+                ]
+            else:  # static
+                target_alloc = [
+                    min(a.region.footprint_bytes, llc_cap) for a in apps
+                ]
+
+            total_achieved = sum(
+                min(d, a) for d, a in zip(bus.demands, bus.achieved)
+            )
+            rho_new = (
+                min(total_achieved / bus.effective_peak, 1.0)
+                if bus.effective_peak > 0
+                else 0.0
+            )
+
+            delta = abs(rho_new - rho)
+            for i in range(n):
+                if alloc[i] > 0:
+                    delta = max(delta, abs(target_alloc[i] - alloc[i]) / llc_cap)
+            rho = (1 - _DAMP) * rho + _DAMP * rho_new
+            alloc = [
+                (1 - _DAMP) * a + _DAMP * t for a, t in zip(alloc, target_alloc)
+            ]
+            sols = new_sols
+            if delta < _TOL:
+                break
+        return sols, alloc, rho
+
+    @staticmethod
+    def profile_sync(app: _LiveApp) -> float:
+        """Synchronization CPI of one app at its thread count (serial
+        phases do not synchronize)."""
+        if app.region.serial:
+            return 0.0
+        return app.profile.scaling.sync_cpi(app.threads)
+
+    # -- time stepping -----------------------------------------------------
+
+    def _advance(
+        self,
+        apps: list[_LiveApp],
+        sols: list[_PhaseSolution],
+        now: float,
+        timeline: list[BandwidthSample],
+        max_dt: float,
+    ) -> float:
+        # Step ends at the earliest phase boundary (or max_dt).
+        dt = max_dt
+        for app, sol in zip(apps, sols):
+            if app.finished:
+                continue
+            t_eff = app.effective_threads()
+            remaining = app.region_instr() - app.instr_done_in_region
+            speed = sol.rate_per_thread * t_eff
+            if speed <= 0:
+                raise EngineError(f"{app.profile.name}: zero execution rate")
+            dt = min(dt, max(remaining / speed, 1e-9))
+
+        for app, sol in zip(apps, sols):
+            if app.finished:
+                continue
+            t_eff = app.effective_threads()
+            instr = sol.rate_per_thread * t_eff * dt
+            r = app.region
+            rm = app.metrics.region(r.region.name)
+            rm.instructions += instr
+            rm.cycles += instr * (sol.cpi - sol.sync_cpi)
+            rm.pending_cycles += instr * sol.stall_cpi
+            rm.l2_misses += instr * r.l2_mpki / 1000.0
+            rm.llc_misses += instr * r.l2_mpki / 1000.0 * sol.llc_miss_ratio
+            rm.bus_bytes += sol.bytes_per_s * dt
+            # Synchronization cycles attributed to the sync region.
+            if sol.sync_cpi > 0:
+                sync_name = app.profile.sync_region_name or r.region.name
+                app.metrics.region(sync_name).cycles += instr * sol.sync_cpi
+                if app.profile.sync_region_name:
+                    app.metrics.region(sync_name).instructions += 0.0
+            app.total_instructions += instr
+            app.instr_done_in_region += instr
+            if app.instr_done_in_region >= app.region_instr() - 1e-6:
+                app.instr_done_in_region = 0.0
+                app.region_i += 1
+                if app.region_i >= len(app.profile.regions):
+                    app.region_i = 0
+                    app.runs_completed += 1
+                    if not app.looping:
+                        app.finished = True
+
+        timeline.append(
+            BandwidthSample(
+                time_s=now + dt,
+                bytes_per_s={
+                    app.metrics.name: sol.bytes_per_s
+                    for app, sol in zip(apps, sols)
+                    if not app.finished or True
+                },
+            )
+        )
+        return dt
+
+    def _simulate(
+        self,
+        apps: list[_LiveApp],
+        *,
+        stop_when: int,
+        max_dt: float,
+    ) -> list[BandwidthSample]:
+        """Run until app[stop_when] finishes; returns the timeline."""
+        timeline: list[BandwidthSample] = []
+        now = 0.0
+        alloc: list[float] | None = None
+        rho = 0.2
+        for _ in range(_MAX_STEPS):
+            if apps[stop_when].finished:
+                break
+            sols, alloc, rho = self._solve(apps, alloc, rho)
+            now += self._advance(apps, sols, now, timeline, max_dt)
+        else:
+            raise EngineError("step budget exhausted; check profile scales")
+        for app in apps:
+            app.metrics.runtime_s = now
+        return timeline
+
+    # -- public API ----------------------------------------------------------
+
+    def solo_run(
+        self,
+        profile: WorkloadProfile,
+        *,
+        threads: int = 4,
+        max_dt: float = 5.0,
+    ) -> SoloRunResult:
+        """Run one application alone on the machine."""
+        if threads < 1 or threads > self.spec.n_cores:
+            raise EngineError(f"threads must be in [1, {self.spec.n_cores}]")
+        app = _LiveApp(
+            profile=profile,
+            threads=threads,
+            looping=False,
+            metrics=AppMetrics(name=profile.name, threads=threads),
+        )
+        timeline = self._simulate([app], stop_when=0, max_dt=max_dt)
+        return SoloRunResult(metrics=app.metrics, timeline=timeline)
+
+    def co_run(
+        self,
+        fg: WorkloadProfile,
+        bg: WorkloadProfile,
+        *,
+        threads: int = 4,
+        bg_threads: int | None = None,
+        fg_solo_runtime_s: float | None = None,
+        bg_solo_rate: float | None = None,
+        max_dt: float = 5.0,
+    ) -> CoRunResult:
+        """Consolidate fg and bg (the paper's protocol): bg loops for as
+        long as fg runs; fg's time is measured.
+
+        ``bg_threads`` defaults to ``threads`` (the paper's symmetric
+        4+4 split); asymmetric splits model core-allocation policies.
+        Solo references are computed on demand; pass them in when
+        sweeping many pairs to avoid recomputation.
+        """
+        bg_threads = bg_threads if bg_threads is not None else threads
+        if threads < 1 or bg_threads < 1:
+            raise EngineError("both apps need at least one thread")
+        if threads + bg_threads > self.spec.n_cores:
+            raise EngineError(
+                f"{threads}+{bg_threads} threads exceed {self.spec.n_cores} cores"
+            )
+        if fg_solo_runtime_s is None:
+            fg_solo_runtime_s = self.solo_run(fg, threads=threads).runtime_s
+        if bg_solo_rate is None:
+            bg_solo = self.solo_run(bg, threads=bg_threads)
+            bg_solo_rate = bg_solo.metrics.total.instructions / bg_solo.runtime_s
+
+        fg_app = _LiveApp(
+            profile=fg, threads=threads, looping=False,
+            metrics=AppMetrics(name=fg.name, threads=threads),
+        )
+        bg_app = _LiveApp(
+            profile=bg, threads=bg_threads, looping=True,
+            metrics=AppMetrics(name=bg.name, threads=bg_threads),
+        )
+        timeline = self._simulate([fg_app, bg_app], stop_when=0, max_dt=max_dt)
+        bg_rate = (
+            bg_app.total_instructions / fg_app.metrics.runtime_s
+            if fg_app.metrics.runtime_s > 0
+            else 0.0
+        )
+        return CoRunResult(
+            fg=fg_app.metrics,
+            bg=bg_app.metrics,
+            fg_solo_runtime_s=fg_solo_runtime_s,
+            bg_relative_rate=bg_rate / bg_solo_rate if bg_solo_rate > 0 else 0.0,
+            timeline=timeline,
+        )
+
+    def speedup_curve(
+        self, profile: WorkloadProfile, *, max_threads: int = 8
+    ) -> dict[int, float]:
+        """Fig 2: speedup vs thread count, normalized to one thread."""
+        t1 = self.solo_run(profile, threads=1).runtime_s
+        return {
+            t: t1 / self.solo_run(profile, threads=t).runtime_s
+            for t in range(1, max_threads + 1)
+        }

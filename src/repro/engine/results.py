@@ -1,0 +1,146 @@
+"""Result containers for the interval engine.
+
+Every experiment in the paper reduces to these observables: runtimes
+(normalized or absolute), the four VTune metrics (CPI, L2_PCP, LLC
+MPKI, LL), and PCM-style bandwidth timelines.  The accumulator gathers
+them per application *and* per code region so the provenance analysis
+(Figs 7–8, Table IV) can attribute contention to source lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegionMetrics:
+    """Accumulated hardware metrics for one code region."""
+
+    instructions: float = 0.0
+    cycles: float = 0.0
+    #: Cycles stalled on accesses past the private L2 (LLC or DRAM).
+    pending_cycles: float = 0.0
+    l2_misses: float = 0.0
+    llc_misses: float = 0.0
+    bus_bytes: float = 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def l2_pcp(self) -> float:
+        """L2 Pending Cycle Percent: share of cycles waiting past L2."""
+        return self.pending_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        return 1000.0 * self.llc_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per kilo-instruction."""
+        return 1000.0 * self.l2_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def ll(self) -> float:
+        """The paper's LL metric: CPI * L2_PCP / (L2 misses per
+        instruction) — the average load latency beyond the private L2
+        as seen by one miss (cycles)."""
+        if self.instructions == 0 or self.l2_misses == 0:
+            return 0.0
+        mpi = self.l2_misses / self.instructions
+        return self.cpi * self.l2_pcp / mpi
+
+    def merge(self, other: "RegionMetrics") -> None:
+        """Accumulate another chunk into this one."""
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.pending_cycles += other.pending_cycles
+        self.l2_misses += other.l2_misses
+        self.llc_misses += other.llc_misses
+        self.bus_bytes += other.bus_bytes
+
+
+@dataclass
+class AppMetrics:
+    """Whole-application metrics: aggregate plus per-region split."""
+
+    name: str
+    threads: int
+    runtime_s: float = 0.0
+    by_region: dict[str, RegionMetrics] = field(default_factory=dict)
+
+    def region(self, name: str) -> RegionMetrics:
+        """Get (or create) a region's accumulator."""
+        rm = self.by_region.get(name)
+        if rm is None:
+            rm = self.by_region[name] = RegionMetrics()
+        return rm
+
+    @property
+    def total(self) -> RegionMetrics:
+        """Aggregate over all regions."""
+        agg = RegionMetrics()
+        for rm in self.by_region.values():
+            agg.merge(rm)
+        return agg
+
+    @property
+    def avg_bandwidth_bytes(self) -> float:
+        """Average bus bandwidth over the app's lifetime."""
+        return self.total.bus_bytes / self.runtime_s if self.runtime_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One PCM-style observation: per-app bus bandwidth at a timestamp."""
+
+    time_s: float
+    bytes_per_s: dict[str, float]
+
+    @property
+    def total_bytes_per_s(self) -> float:
+        return sum(self.bytes_per_s.values())
+
+
+@dataclass
+class SoloRunResult:
+    """Outcome of one application running alone."""
+
+    metrics: AppMetrics
+    timeline: list[BandwidthSample] = field(default_factory=list)
+
+    @property
+    def runtime_s(self) -> float:
+        return self.metrics.runtime_s
+
+
+@dataclass
+class CoRunResult:
+    """Outcome of a foreground/background consolidation pair.
+
+    The background application restarts for as long as the foreground
+    runs (the paper's protocol); ``bg_progress_rate`` is its steady
+    instruction throughput relative to its solo throughput.
+    """
+
+    fg: AppMetrics
+    bg: AppMetrics
+    fg_solo_runtime_s: float
+    bg_relative_rate: float
+    timeline: list[BandwidthSample] = field(default_factory=list)
+
+    @property
+    def normalized_time(self) -> float:
+        """Fig 5's cell value: fg co-run time / fg solo time."""
+        if self.fg_solo_runtime_s <= 0:
+            return 0.0
+        return self.fg.runtime_s / self.fg_solo_runtime_s
+
+    @property
+    def bg_slowdown(self) -> float:
+        """Background slowdown factor (>= 1 when it is hurt)."""
+        return 1.0 / self.bg_relative_rate if self.bg_relative_rate > 0 else float("inf")

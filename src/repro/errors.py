@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-types exist for the
+three broad failure domains: machine/hardware-model configuration,
+workload definition, and experiment execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MachineConfigError(ReproError):
+    """An invalid hardware-model configuration (cache geometry, MSR use,
+    core-binding conflicts, bandwidth parameters out of range)."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload definition or workload-registry lookup failure."""
+
+
+class TraceError(ReproError):
+    """A malformed access trace or trace-generator misuse."""
+
+
+class EngineError(ReproError):
+    """Failure inside the interval/co-run simulation engine, e.g. a
+    fixed-point iteration that does not converge."""
+
+
+class ExperimentError(ReproError):
+    """Failure while assembling or running a paper experiment."""

@@ -1,0 +1,92 @@
+"""Energy model for consolidation-efficiency analysis.
+
+The paper's opening motivation is *energy*: "task consolidation can
+significantly improve hardware utilization and result in high energy
+efficiency" (Section I).  This module quantifies that claim for any
+schedule the engine can evaluate: a simple but standard server energy
+model — static (platform) power, per-active-core power scaled by
+utilization, and DRAM energy per byte moved — integrated over the
+runtimes and bandwidth the engine reports.
+
+Default constants approximate a 2012 Sandy Bridge-EP server (130 W TDP
+socket in a ~250 W platform; ~60 pJ/bit DRAM transfer energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.results import AppMetrics
+from repro.errors import MachineConfigError
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Server power/energy parameters."""
+
+    #: Platform power drawn regardless of load (fans, board, idle
+    #: uncore, PSU losses) — the term consolidation amortizes.
+    static_watts: float = 120.0
+    #: Incremental power of one fully-busy core.
+    core_active_watts: float = 12.0
+    #: DRAM + memory-channel energy per byte transferred.
+    dram_joules_per_byte: float = 60e-12 * 8
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0 or self.core_active_watts < 0:
+            raise MachineConfigError("power terms must be non-negative")
+        if self.dram_joules_per_byte < 0:
+            raise MachineConfigError("DRAM energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules attributed to each component over one execution window."""
+
+    static_j: float
+    core_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.core_j + self.dram_j
+
+
+def energy_of_window(
+    spec: EnergySpec,
+    *,
+    duration_s: float,
+    busy_core_seconds: float,
+    bus_bytes: float,
+) -> EnergyBreakdown:
+    """Energy of a machine window.
+
+    Args:
+        spec: Power model.
+        duration_s: Wall-clock length of the window.
+        busy_core_seconds: Sum over cores of their busy time.
+        bus_bytes: Total DRAM traffic in the window.
+    """
+    if duration_s < 0 or busy_core_seconds < 0 or bus_bytes < 0:
+        raise MachineConfigError("window quantities must be non-negative")
+    return EnergyBreakdown(
+        static_j=spec.static_watts * duration_s,
+        core_j=spec.core_active_watts * busy_core_seconds,
+        dram_j=spec.dram_joules_per_byte * bus_bytes,
+    )
+
+
+def energy_of_run(spec: EnergySpec, metrics: AppMetrics, *, alone: bool = True) -> EnergyBreakdown:
+    """Energy of one application's engine run.
+
+    With ``alone=True`` the full static power is charged to this run
+    (the machine exists only for it); co-run accounting should instead
+    compute one shared window via :func:`energy_of_window`.
+    """
+    busy = metrics.runtime_s * metrics.threads
+    return energy_of_window(
+        spec,
+        duration_s=metrics.runtime_s if alone else 0.0,
+        busy_core_seconds=busy,
+        bus_bytes=metrics.total.bus_bytes,
+    )

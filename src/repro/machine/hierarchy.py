@@ -1,0 +1,167 @@
+"""Per-core cache hierarchy: private L1D/L2 in front of the shared LLC.
+
+The access path mirrors the paper's platform (Fig 1): a demand access
+checks L1D, then the private L2, then the shared LLC, then DRAM.  The
+per-core prefetcher complement observes the demand stream at the level
+it belongs to and issues fills; prefetch fills that are absent from the
+LLC cost memory bandwidth, which is the mechanism behind "prefetcher-
+sensitive applications consume significant bandwidth" (Section IV-C).
+
+Latencies are load-to-use and additive down the hierarchy.  The DRAM
+component is scaled by the queueing multiplier for the utilization the
+caller reports (the trace profiler passes its current estimate; 0.0
+means an unloaded bus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.memory import MemoryController, queueing_latency_multiplier
+from repro.machine.prefetcher import CorePrefetchers
+from repro.machine.spec import MachineSpec
+
+
+@dataclass
+class HierarchyStats:
+    """Per-core summary of where demand accesses were served."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    mem_accesses: int = 0
+    #: Sum of per-access latencies (cycles), L1 hits included.
+    total_latency_cycles: float = 0.0
+    #: Sum of latency cycles spent beyond the private L2 (the quantity
+    #: the paper's L2_PCP metric is built from).
+    pending_cycles: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.accesses = self.l1_hits = self.l2_hits = 0
+        self.llc_hits = self.mem_accesses = 0
+        self.total_latency_cycles = 0.0
+        self.pending_cycles = 0.0
+
+    @property
+    def l2_misses(self) -> int:
+        """Demand accesses that went past the private L2."""
+        return self.llc_hits + self.mem_accesses
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access through the full hierarchy."""
+
+    level: str  # "L1" | "L2" | "LLC" | "MEM"
+    latency_cycles: float
+
+
+class CoreCacheHierarchy:
+    """One core's private caches plus its view of the shared levels."""
+
+    def __init__(
+        self,
+        core_id: int,
+        spec: MachineSpec,
+        llc: SetAssociativeCache,
+        memory: MemoryController,
+    ) -> None:
+        self.core_id = core_id
+        self.spec = spec
+        self.l1d = SetAssociativeCache(spec.l1d)
+        self.l2 = SetAssociativeCache(spec.l2)
+        self.llc = llc
+        self.memory = memory
+        self.prefetchers = CorePrefetchers(spec.prefetch)
+        self.stats = HierarchyStats()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fill_from_below(self, line: int, owner: int, *, into_l1: bool) -> bool:
+        """Bring ``line`` into the hierarchy for a prefetch.
+
+        Fills the target level and any missing level below it.  Returns
+        True when DRAM traffic was generated (line absent from LLC).
+        """
+        from_mem = False
+        if not self.llc.probe(line):
+            self.llc.fill(line, owner=owner)
+            self.memory.prefetch_fill(owner)
+            from_mem = True
+        out_l2 = self.l2.fill(line)
+        if out_l2.evicted_dirty:
+            # Dirty L2 victim: push to LLC (non-inclusive write-back path).
+            self.llc.access(out_l2.evicted_line, write=True, owner=owner)
+        if into_l1:
+            self.l1d.fill(line)
+        return from_mem
+
+    # -- public API ------------------------------------------------------
+
+    def access(
+        self,
+        ip: int,
+        line: int,
+        *,
+        write: bool = False,
+        owner: int = 0,
+        bus_utilization: float = 0.0,
+    ) -> AccessResult:
+        """One demand access; updates caches, prefetchers and counters."""
+        st = self.stats
+        st.accesses += 1
+
+        l1_out = self.l1d.access(line, write=write)
+        l1_miss = not l1_out.hit
+        for pf in self.prefetchers.l1_candidates(ip, line, miss=l1_miss):
+            self._fill_from_below(pf, owner, into_l1=True)
+        if l1_out.hit:
+            st.l1_hits += 1
+            lat = float(self.spec.l1d.latency_cycles)
+            st.total_latency_cycles += lat
+            return AccessResult("L1", lat)
+        if l1_out.evicted_dirty:
+            self.l2.access(l1_out.evicted_line, write=True)
+
+        l2_out = self.l2.access(line)
+        l2_miss = not l2_out.hit
+        for pf in self.prefetchers.l2_candidates(ip, line, miss=l2_miss):
+            self._fill_from_below(pf, owner, into_l1=False)
+        if l2_out.hit:
+            st.l2_hits += 1
+            lat = float(self.spec.l2.latency_cycles)
+            st.total_latency_cycles += lat
+            return AccessResult("L2", lat)
+        if l2_out.evicted_dirty:
+            self.llc.access(l2_out.evicted_line, write=True, owner=owner)
+
+        llc_out = self.llc.access(line, write=write, owner=owner)
+        if llc_out.evicted_dirty:
+            self.memory.writeback(owner)
+        if llc_out.hit:
+            st.llc_hits += 1
+            lat = float(self.spec.llc.latency_cycles)
+            st.total_latency_cycles += lat
+            st.pending_cycles += lat
+            return AccessResult("LLC", lat)
+
+        st.mem_accesses += 1
+        self.memory.demand_fill(owner)
+        mem_lat = self.spec.memory.idle_latency_cycles * queueing_latency_multiplier(
+            bus_utilization, self.spec.memory
+        )
+        lat = self.spec.llc.latency_cycles + mem_lat
+        st.total_latency_cycles += lat
+        st.pending_cycles += lat
+        return AccessResult("MEM", lat)
+
+    def reset(self) -> None:
+        """Clear private caches, prefetcher state and counters (the
+        shared LLC and memory controller are reset by the machine)."""
+        self.l1d.reset()
+        self.l2.reset()
+        self.prefetchers.reset()
+        self.stats.reset()

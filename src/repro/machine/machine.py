@@ -1,0 +1,156 @@
+"""The assembled machine: cores, shared LLC, memory, MSRs, core binding.
+
+:class:`Machine` is the trace-layer platform object.  It owns
+
+* one :class:`~repro.machine.cache.SetAssociativeCache` as the shared
+  LLC and one :class:`~repro.machine.memory.MemoryController`,
+* one :class:`~repro.machine.hierarchy.CoreCacheHierarchy` per core,
+* an :class:`~repro.machine.msr.MsrBank` whose 0x1A4 registers gate the
+  prefetchers, and
+* an exclusive core-binding table mirroring the paper's setup (each
+  application pinned to 4 physical cores, Section III-A).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineConfigError
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.hierarchy import AccessResult, CoreCacheHierarchy
+from repro.machine.memory import MemoryController
+from repro.machine.msr import MSR_MISC_FEATURE_CONTROL, MsrBank
+from repro.machine.spec import MachineSpec, xeon_e5_4650
+
+
+class Machine:
+    """Trace-layer model of the experimental platform."""
+
+    def __init__(self, spec: MachineSpec | None = None) -> None:
+        self.spec = spec if spec is not None else xeon_e5_4650()
+        self.msr = MsrBank(self.spec.n_cores)
+        self.llc = SetAssociativeCache(self.spec.llc)
+        self.memory = MemoryController(self.spec.memory, line_bytes=self.spec.line_bytes)
+        self.cores = [
+            CoreCacheHierarchy(c, self.spec, self.llc, self.memory)
+            for c in range(self.spec.n_cores)
+        ]
+        self._bindings: dict[int, tuple[int, ...]] = {}
+        self._core_owner: dict[int, int] = {}
+        self._line_shift = self.spec.line_bytes.bit_length() - 1
+
+    # -- core binding ------------------------------------------------------
+
+    def bind(self, app_id: int, cores: tuple[int, ...] | list[int]) -> None:
+        """Pin application ``app_id`` to an exclusive set of cores.
+
+        Raises :class:`MachineConfigError` on overlap with an existing
+        binding — the paper's setup never shares physical cores.
+        """
+        cores = tuple(cores)
+        if not cores:
+            raise MachineConfigError("binding needs at least one core")
+        for c in cores:
+            if not (0 <= c < self.spec.n_cores):
+                raise MachineConfigError(f"core {c} out of range")
+            holder = self._core_owner.get(c)
+            if holder is not None and holder != app_id:
+                raise MachineConfigError(
+                    f"core {c} already bound to app {holder}"
+                )
+        if app_id in self._bindings:
+            raise MachineConfigError(f"app {app_id} already bound")
+        self._bindings[app_id] = cores
+        for c in cores:
+            self._core_owner[c] = app_id
+
+    def unbind(self, app_id: int) -> None:
+        """Release an application's cores."""
+        cores = self._bindings.pop(app_id, None)
+        if cores is None:
+            raise MachineConfigError(f"app {app_id} is not bound")
+        for c in cores:
+            del self._core_owner[c]
+
+    def binding(self, app_id: int) -> tuple[int, ...]:
+        """The cores currently owned by ``app_id``."""
+        try:
+            return self._bindings[app_id]
+        except KeyError:
+            raise MachineConfigError(f"app {app_id} is not bound") from None
+
+    def owner_of_core(self, core: int) -> int | None:
+        """Which app owns ``core`` (None when unbound)."""
+        return self._core_owner.get(core)
+
+    # -- prefetcher control (MSR-backed) ------------------------------------
+
+    def apply_msr(self) -> None:
+        """Re-read MSR 0x1A4 on every core into the prefetcher gates.
+
+        Call after raw :attr:`msr` writes; the convenience setters below
+        do it automatically.
+        """
+        for core in self.cores:
+            core.prefetchers.enabled = self.msr.prefetchers_enabled(core.core_id)
+
+    def set_all_prefetchers(self, enabled: bool) -> None:
+        """Enable/disable all four prefetchers machine-wide via the MSR."""
+        self.msr.set_all_prefetchers(enabled)
+        self.apply_msr()
+
+    def prefetchers_enabled(self, core: int = 0) -> dict[str, bool]:
+        """Decoded prefetcher state of one core."""
+        return self.msr.prefetchers_enabled(core)
+
+    # -- access path ---------------------------------------------------------
+
+    def line_of(self, byte_addr: int) -> int:
+        """Translate a byte address into a line address."""
+        return byte_addr >> self._line_shift
+
+    def access(
+        self,
+        core: int,
+        ip: int,
+        line: int,
+        *,
+        write: bool = False,
+        bus_utilization: float = 0.0,
+    ) -> AccessResult:
+        """Demand access on ``core``; the owner is looked up from the
+        binding table (unbound cores attribute traffic to owner -1)."""
+        if not (0 <= core < self.spec.n_cores):
+            raise MachineConfigError(f"core {core} out of range")
+        owner = self._core_owner.get(core, -1)
+        return self.cores[core].access(
+            ip, line, write=write, owner=owner, bus_utilization=bus_utilization
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero every cache/memory counter without dropping cache contents."""
+        for core in self.cores:
+            core.stats.reset()
+            core.l1d.stats.reset()
+            core.l2.stats.reset()
+        self.llc.stats.reset()
+        self.memory.reset()
+
+    def reset(self) -> None:
+        """Full reset: caches invalidated, stats zeroed, bindings kept,
+        MSRs kept (matching a process restart on real hardware)."""
+        for core in self.cores:
+            core.reset()
+        self.llc.reset()
+        self.memory.reset()
+        self.apply_msr()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.spec.n_cores} cores @ {self.spec.freq_hz/1e9:.1f} GHz, "
+            f"LLC {self.spec.llc.size_bytes >> 20} MiB, "
+            f"{len(self._bindings)} bound apps)"
+        )
+
+
+__all__ = ["Machine", "MSR_MISC_FEATURE_CONTROL", "MsrBank"]

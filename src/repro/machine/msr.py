@@ -1,0 +1,114 @@
+"""Model-Specific Register (MSR) emulation.
+
+The paper toggles the four Sandy Bridge hardware prefetchers through the
+per-core MSR ``0x1A4`` (MISC_FEATURE_CONTROL); each *set* bit *disables*
+one prefetcher (Section IV-C, Intel SDM).  We emulate exactly that
+register so the prefetcher-sensitivity experiment (Fig 4) manipulates
+the model the same way ``wrmsr`` manipulates the real machine.
+
+Bit assignments (Intel SDM vol. 4, table 2-20):
+
+====  =========================================
+bit   prefetcher disabled when set
+====  =========================================
+0     L2 hardware prefetcher (streamer)
+1     L2 adjacent cache line prefetcher
+2     L1 data cache (DCU) next-line prefetcher
+3     L1 data cache IP-stride prefetcher
+====  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntFlag
+
+from repro.errors import MachineConfigError
+
+#: Address of MISC_FEATURE_CONTROL, the prefetcher-control MSR.
+MSR_MISC_FEATURE_CONTROL: int = 0x1A4
+
+
+class PrefetchDisable(IntFlag):
+    """Bit flags of MSR 0x1A4: a set bit disables the prefetcher."""
+
+    L2_STREAM = 1 << 0
+    L2_ADJACENT = 1 << 1
+    L1_NEXT_LINE = 1 << 2
+    L1_IP_STRIDE = 1 << 3
+
+    ALL = L2_STREAM | L2_ADJACENT | L1_NEXT_LINE | L1_IP_STRIDE
+    NONE = 0
+
+
+@dataclass
+class MsrBank:
+    """Per-core MSR file.
+
+    Only ``0x1A4`` has modelled semantics; other addresses are stored
+    and read back verbatim, which is how scratch MSRs behave and keeps
+    the interface honest for tooling built on top.
+    """
+
+    n_cores: int
+    _regs: list[dict[int, int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise MachineConfigError("MsrBank needs at least one core")
+        self._regs = [{} for _ in range(self.n_cores)]
+
+    def _check_core(self, core: int) -> None:
+        if not (0 <= core < self.n_cores):
+            raise MachineConfigError(
+                f"core {core} out of range [0, {self.n_cores})"
+            )
+
+    def read(self, core: int, address: int) -> int:
+        """``rdmsr``: read ``address`` on ``core`` (unwritten MSRs read 0)."""
+        self._check_core(core)
+        return self._regs[core].get(address, 0)
+
+    def write(self, core: int, address: int, value: int) -> None:
+        """``wrmsr``: write ``value`` to ``address`` on ``core``."""
+        self._check_core(core)
+        if value < 0:
+            raise MachineConfigError("MSR values are unsigned")
+        if address == MSR_MISC_FEATURE_CONTROL and value & ~int(PrefetchDisable.ALL):
+            raise MachineConfigError(
+                f"reserved bits set in MSR 0x1A4 write: {value:#x}"
+            )
+        self._regs[core][address] = value
+
+    def write_all(self, address: int, value: int) -> None:
+        """Write the same value on every core (how the experiments flip
+        prefetchers machine-wide)."""
+        for core in range(self.n_cores):
+            self.write(core, address, value)
+
+    # -- prefetcher-specific conveniences -------------------------------
+
+    def prefetchers_enabled(self, core: int) -> dict[str, bool]:
+        """Decode 0x1A4 on ``core`` into per-prefetcher enable states."""
+        raw = PrefetchDisable(self.read(core, MSR_MISC_FEATURE_CONTROL))
+        return {
+            "l2_stream": PrefetchDisable.L2_STREAM not in raw,
+            "l2_adjacent": PrefetchDisable.L2_ADJACENT not in raw,
+            "l1_next_line": PrefetchDisable.L1_NEXT_LINE not in raw,
+            "l1_ip_stride": PrefetchDisable.L1_IP_STRIDE not in raw,
+        }
+
+    def set_all_prefetchers(self, enabled: bool) -> None:
+        """Enable or disable all four prefetchers on every core."""
+        value = int(PrefetchDisable.NONE if enabled else PrefetchDisable.ALL)
+        self.write_all(MSR_MISC_FEATURE_CONTROL, value)
+
+    def disable(self, core: int, flags: PrefetchDisable) -> None:
+        """Set additional disable bits on one core."""
+        cur = self.read(core, MSR_MISC_FEATURE_CONTROL)
+        self.write(core, MSR_MISC_FEATURE_CONTROL, cur | int(flags))
+
+    def enable(self, core: int, flags: PrefetchDisable) -> None:
+        """Clear disable bits on one core."""
+        cur = self.read(core, MSR_MISC_FEATURE_CONTROL)
+        self.write(core, MSR_MISC_FEATURE_CONTROL, cur & ~int(flags))

@@ -1,0 +1,14 @@
+"""Measurement toolset analogues (Section III-C): PCM bandwidth
+monitoring and VTune hotspot attribution."""
+
+from repro.tools.pcm import PcmMemoryMonitor, PcmReport, PcmSample
+from repro.tools.vtune import RegionComparison, RegionReport, VtuneProfiler
+
+__all__ = [
+    "PcmMemoryMonitor",
+    "PcmReport",
+    "PcmSample",
+    "RegionComparison",
+    "RegionReport",
+    "VtuneProfiler",
+]

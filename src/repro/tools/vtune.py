@@ -1,0 +1,113 @@
+"""Intel VTune analogue: hotspot attribution of hardware metrics.
+
+The paper uses VTune 2017 event-based sampling to attribute CPI,
+L2_PCP, LLC MPKI and the derived LL metric to source regions — that is
+how it identifies ``gather`` (pagerank.c:63-66) as P-PR's contentious
+code and fotonik3d's ``UUS`` update as its bottleneck (Table IV,
+Figs 7–8).  :class:`VtuneProfiler` provides the same observables over
+the engine's per-region accumulators, plus solo-vs-co-run comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.results import AppMetrics, RegionMetrics
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """One hotspot row."""
+
+    region: str
+    cycles_share: float
+    instructions_share: float
+    cpi: float
+    l2_pcp: float
+    llc_mpki: float
+    ll: float
+
+
+@dataclass(frozen=True)
+class RegionComparison:
+    """Solo vs co-run metric deltas for one region (Table IV rows)."""
+
+    region: str
+    solo: RegionReport
+    corun: RegionReport
+
+    @property
+    def cpi_inflation(self) -> float:
+        return self.corun.cpi / self.solo.cpi if self.solo.cpi else float("inf")
+
+    @property
+    def mpki_inflation(self) -> float:
+        if self.solo.llc_mpki == 0:
+            return float("inf") if self.corun.llc_mpki else 1.0
+        return self.corun.llc_mpki / self.solo.llc_mpki
+
+    @property
+    def ll_inflation(self) -> float:
+        return self.corun.ll / self.solo.ll if self.solo.ll else float("inf")
+
+
+def _region_report(name: str, rm: RegionMetrics, total_cycles: float, total_instr: float) -> RegionReport:
+    return RegionReport(
+        region=name,
+        cycles_share=rm.cycles / total_cycles if total_cycles else 0.0,
+        instructions_share=rm.instructions / total_instr if total_instr else 0.0,
+        cpi=rm.cpi,
+        l2_pcp=rm.l2_pcp,
+        llc_mpki=rm.llc_mpki,
+        ll=rm.ll,
+    )
+
+
+class VtuneProfiler:
+    """Hotspot analysis over engine AppMetrics."""
+
+    def hotspots(self, metrics: AppMetrics) -> list[RegionReport]:
+        """Per-region reports sorted by cycle share (descending)."""
+        total = metrics.total
+        if not metrics.by_region:
+            raise ExperimentError(f"{metrics.name}: no regions recorded")
+        reports = [
+            _region_report(name, rm, total.cycles, total.instructions)
+            for name, rm in metrics.by_region.items()
+        ]
+        reports.sort(key=lambda r: r.cycles_share, reverse=True)
+        return reports
+
+    def top_hotspot(self, metrics: AppMetrics) -> RegionReport:
+        """The dominant region (the paper's 'contentious code region')."""
+        return self.hotspots(metrics)[0]
+
+    def compare(self, solo: AppMetrics, corun: AppMetrics, region: str) -> RegionComparison:
+        """Solo-vs-co-run comparison for one region (a Table IV cell)."""
+        if region not in solo.by_region or region not in corun.by_region:
+            raise ExperimentError(
+                f"region {region!r} missing (have {sorted(solo.by_region)} / "
+                f"{sorted(corun.by_region)})"
+            )
+        s_tot, c_tot = solo.total, corun.total
+        return RegionComparison(
+            region=region,
+            solo=_region_report(region, solo.by_region[region], s_tot.cycles, s_tot.instructions),
+            corun=_region_report(region, corun.by_region[region], c_tot.cycles, c_tot.instructions),
+        )
+
+    def report(self, metrics: AppMetrics) -> str:
+        """VTune-style text summary for one application."""
+        rows = self.hotspots(metrics)
+        hdr = (
+            f"{'region':<28}{'cycles%':>9}{'instr%':>8}{'CPI':>7}"
+            f"{'L2_PCP':>8}{'LLC MPKI':>10}{'LL':>8}"
+        )
+        lines = [f"Hotspots for {metrics.name} ({metrics.threads} threads)", hdr, "-" * len(hdr)]
+        for r in rows:
+            lines.append(
+                f"{r.region:<28}{100 * r.cycles_share:>8.1f}%{100 * r.instructions_share:>7.1f}%"
+                f"{r.cpi:>7.2f}{100 * r.l2_pcp:>7.1f}%{r.llc_mpki:>10.2f}{r.ll:>8.1f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Trace layer: access streams, reuse distances, miss-ratio curves and
+the kernel profiler (the measurement methodology of Section III-C)."""
+
+from repro.trace.mrc import MissRatioCurve
+from repro.trace.profiler import TraceCharacterization, TraceProfiler
+from repro.trace.reuse import (
+    COLD,
+    miss_ratio_at,
+    reuse_distances,
+    reuse_distances_bruteforce,
+    reuse_histogram,
+)
+from repro.trace.stream import (
+    AccessBatch,
+    TraceSource,
+    TraceStats,
+    concat_lines,
+    take,
+    total_accesses,
+)
+from repro.trace import synth
+
+__all__ = [
+    "AccessBatch",
+    "COLD",
+    "MissRatioCurve",
+    "TraceCharacterization",
+    "TraceProfiler",
+    "TraceSource",
+    "TraceStats",
+    "concat_lines",
+    "miss_ratio_at",
+    "reuse_distances",
+    "reuse_distances_bruteforce",
+    "reuse_histogram",
+    "synth",
+    "take",
+    "total_accesses",
+]

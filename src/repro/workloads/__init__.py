@@ -1,0 +1,19 @@
+"""Workload models: the 25 applications of Table I plus the two
+mini-benchmarks, each as a real kernel with a trace generator, plus the
+calibrated analytic profiles the interval engine consumes."""
+
+from repro.workloads.base import (
+    CodeRegion,
+    RegionProfile,
+    ScalingModel,
+    Workload,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "CodeRegion",
+    "RegionProfile",
+    "ScalingModel",
+    "Workload",
+    "WorkloadProfile",
+]

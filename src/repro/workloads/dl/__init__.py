@@ -1,0 +1,7 @@
+"""Deep-learning workloads (the CNTK suite of Table I)."""
+
+from repro.workloads.dl.atis import ATIS
+from repro.workloads.dl.convnet import ConvNet, ConvNetCIFAR, ConvNetMNIST
+from repro.workloads.dl.lstm import LSTMAn4
+
+__all__ = ["ATIS", "ConvNet", "ConvNetCIFAR", "ConvNetMNIST", "LSTMAn4"]

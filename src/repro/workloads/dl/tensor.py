@@ -1,0 +1,265 @@
+"""Minimal tensor operations for the deep-learning workload models.
+
+Implements exactly what the three CNTK applications need — dense layers,
+im2col convolution, 2x2 max-pooling, ReLU, softmax cross-entropy and an
+LSTM cell — each with a hand-written backward pass.  The test suite
+validates every gradient against numerical differentiation, so the
+training loops of the ConvNet/LSTM/ATIS models are real optimizers, not
+mockups.
+
+All tensors are numpy float64 (gradient checks need the precision);
+layout is NCHW for images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _out_dim(size: int, k: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - k) // stride + 1
+    if out <= 0:
+        raise WorkloadError(f"kernel {k} too large for size {size} (pad {pad})")
+    return out
+
+
+# -- dense -----------------------------------------------------------------
+
+
+def linear_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """y = x @ w + b with x:(N,D), w:(D,M), b:(M,)."""
+    return x @ w + b
+
+
+def linear_backward(
+    dy: np.ndarray, x: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dw, db)."""
+    return dy @ w.T, x.T @ dy, dy.sum(axis=0)
+
+
+# -- activations -------------------------------------------------------------
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient through ReLU given the forward input."""
+    return dy * (x > 0)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and dloss/dlogits for integer labels."""
+    if logits.ndim != 2:
+        raise WorkloadError("logits must be (N, K)")
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    nll = -np.log(np.maximum(probs[np.arange(n), labels], 1e-300))
+    dlogits = probs.copy()
+    dlogits[np.arange(n), labels] -= 1.0
+    return float(nll.mean()), dlogits / n
+
+
+# -- convolution --------------------------------------------------------------
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, *, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold (N,C,H,W) into (N, C*kh*kw, Ho*Wo) patch columns."""
+    n, c, h, w = x.shape
+    ho, wo = _out_dim(h, kh, stride, pad), _out_dim(w, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c * kh * kw, ho * wo), dtype=x.dtype)
+    idx = 0
+    for ci in range(c):
+        for i in range(kh):
+            for j in range(kw):
+                patch = xp[:, ci, i : i + stride * ho : stride, j : j + stride * wo : stride]
+                cols[:, idx, :] = patch.reshape(n, -1)
+                idx += 1
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    *,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to (N,C,H,W)."""
+    n, c, h, w = x_shape
+    ho, wo = _out_dim(h, kh, stride, pad), _out_dim(w, kw, stride, pad)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    idx = 0
+    for ci in range(c):
+        for i in range(kh):
+            for j in range(kw):
+                patch = cols[:, idx, :].reshape(n, ho, wo)
+                xp[:, ci, i : i + stride * ho : stride, j : j + stride * wo : stride] += patch
+                idx += 1
+    if pad:
+        return xp[:, :, pad:-pad, pad:-pad]
+    return xp
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    b: np.ndarray,
+    *,
+    stride: int = 1,
+    pad: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convolution via im2col + GEMM.
+
+    Args:
+        x: (N, C, H, W) input.
+        w: (F, C, kh, kw) filters.
+        b: (F,) bias.
+
+    Returns:
+        (y, cols): y is (N, F, Ho, Wo); cols is the im2col buffer kept
+        for the backward pass (the CNTK-style workspace that dominates
+        the model's memory traffic).
+    """
+    n, c, h, wd = x.shape
+    f, c2, kh, kw = w.shape
+    if c != c2:
+        raise WorkloadError(f"channel mismatch: x has {c}, filters expect {c2}")
+    cols = im2col(x, kh, kw, stride=stride, pad=pad)
+    wm = w.reshape(f, -1)
+    ho, wo = _out_dim(h, kh, stride, pad), _out_dim(wd, kw, stride, pad)
+    y = np.einsum("fk,nkp->nfp", wm, cols) + b[None, :, None]
+    return y.reshape(n, f, ho, wo), cols
+
+
+def conv2d_backward(
+    dy: np.ndarray,
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    w: np.ndarray,
+    *,
+    stride: int = 1,
+    pad: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dw, db) for :func:`conv2d_forward`."""
+    n, f = dy.shape[0], dy.shape[1]
+    _, c, kh, kw = w.shape
+    dyf = dy.reshape(n, f, -1)
+    wm = w.reshape(f, -1)
+    dwm = np.einsum("nfp,nkp->fk", dyf, cols)
+    db = dyf.sum(axis=(0, 2))
+    dcols = np.einsum("fk,nfp->nkp", wm, dyf)
+    dx = col2im(dcols, x_shape, kh, kw, stride=stride, pad=pad)
+    return dx, dwm.reshape(w.shape), db
+
+
+# -- pooling -------------------------------------------------------------------
+
+
+def maxpool2x2_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """2x2/stride-2 max pooling; returns (y, argmax mask for backward)."""
+    n, c, h, w = x.shape
+    if h % 2 or w % 2:
+        raise WorkloadError("maxpool2x2 requires even spatial dims")
+    xr = x.reshape(n, c, h // 2, 2, w // 2, 2).transpose(0, 1, 2, 4, 3, 5)
+    flat = xr.reshape(n, c, h // 2, w // 2, 4)
+    arg = flat.argmax(axis=-1)
+    y = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return y, arg
+
+
+def maxpool2x2_backward(dy: np.ndarray, arg: np.ndarray, x_shape: tuple) -> np.ndarray:
+    """Scatter gradients back to the argmax positions."""
+    n, c, h, w = x_shape
+    flat = np.zeros((n, c, h // 2, w // 2, 4), dtype=dy.dtype)
+    np.put_along_axis(flat, arg[..., None], dy[..., None], axis=-1)
+    xr = flat.reshape(n, c, h // 2, w // 2, 2, 2).transpose(0, 1, 2, 4, 3, 5)
+    return xr.reshape(n, c, h, w)
+
+
+# -- LSTM ------------------------------------------------------------------------
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+def lstm_cell_forward(
+    x: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    wx: np.ndarray,
+    wh: np.ndarray,
+    b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, tuple]:
+    """One LSTM step.
+
+    Args:
+        x: (N, D) input; h, c: (N, H) previous states.
+        wx: (D, 4H), wh: (H, 4H), b: (4H,) packed [i, f, o, g] gates.
+
+    Returns:
+        (h_next, c_next, cache) with cache for the backward pass.
+    """
+    hs = h.shape[1]
+    gates = x @ wx + h @ wh + b
+    i = _sigmoid(gates[:, :hs])
+    f = _sigmoid(gates[:, hs : 2 * hs])
+    o = _sigmoid(gates[:, 2 * hs : 3 * hs])
+    g = np.tanh(gates[:, 3 * hs :])
+    c_next = f * c + i * g
+    tc = np.tanh(c_next)
+    h_next = o * tc
+    cache = (x, h, c, wx, wh, i, f, o, g, c_next, tc)
+    return h_next, c_next, cache
+
+
+def lstm_cell_backward(
+    dh_next: np.ndarray, dc_next: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dh, dc, dwx, dwh, db)."""
+    x, h, c, wx, wh, i, f, o, g, c_next, tc = cache
+    do = dh_next * tc
+    dc_total = dc_next + dh_next * o * (1 - tc * tc)
+    di = dc_total * g
+    df = dc_total * c
+    dg = dc_total * i
+    dc = dc_total * f
+    dgi = di * i * (1 - i)
+    dgf = df * f * (1 - f)
+    dgo = do * o * (1 - o)
+    dgg = dg * (1 - g * g)
+    dgates = np.concatenate([dgi, dgf, dgo, dgg], axis=1)
+    dx = dgates @ wx.T
+    dh = dgates @ wh.T
+    dwx = x.T @ dgates
+    dwh = h.T @ dgates
+    db = dgates.sum(axis=0)
+    return dx, dh, dc, dwx, dwh, db
+
+
+# -- optimizer ----------------------------------------------------------------
+
+
+def sgd_update(params: dict[str, np.ndarray], grads: dict[str, np.ndarray], lr: float) -> None:
+    """In-place SGD step over matching param/grad dictionaries."""
+    if lr <= 0:
+        raise WorkloadError("learning rate must be positive")
+    for k, p in params.items():
+        if k not in grads:
+            raise WorkloadError(f"missing gradient for parameter {k!r}")
+        p -= lr * grads[k]

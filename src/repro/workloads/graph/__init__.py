@@ -1,0 +1,47 @@
+"""Graph-analytics workloads (GeminiGraph and PowerGraph suites)."""
+
+from repro.workloads.graph.csr import CSRGraph
+from repro.workloads.graph.gemini import (
+    GeminiBC,
+    GeminiBFS,
+    GeminiCC,
+    GeminiPageRank,
+    GeminiSSSP,
+    GeminiWorkload,
+    gemini_workloads,
+)
+from repro.workloads.graph.generate import (
+    EdgeList,
+    chung_lu,
+    degree_histogram,
+    friendster_mini,
+)
+from repro.workloads.graph.powergraph import (
+    PowerGraphCC,
+    PowerGraphPageRank,
+    PowerGraphSSSP,
+    PowerGraphWorkload,
+    gas_supersteps,
+    powergraph_workloads,
+)
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "GeminiBC",
+    "GeminiBFS",
+    "GeminiCC",
+    "GeminiPageRank",
+    "GeminiSSSP",
+    "GeminiWorkload",
+    "PowerGraphCC",
+    "PowerGraphPageRank",
+    "PowerGraphSSSP",
+    "PowerGraphWorkload",
+    "chung_lu",
+    "degree_histogram",
+    "friendster_mini",
+    "gas_supersteps",
+    "gemini_workloads",
+    "powergraph_workloads",
+]

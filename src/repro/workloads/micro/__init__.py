@@ -1,0 +1,6 @@
+"""Memory-stressing mini-benchmarks (Section III-B: Bandit, Stream)."""
+
+from repro.workloads.micro.bandit import Bandit
+from repro.workloads.micro.stream_bench import StreamBench
+
+__all__ = ["Bandit", "StreamBench"]

@@ -1,0 +1,149 @@
+"""SPEC CPU2017 607.cactuBSSN_s: numerical relativity stencils.
+
+cactuBSSN evolves Einstein's equations in the BSSN formulation — its
+kernels are high-order finite-difference stencils over ~25 3D grid
+functions with heavy pointwise algebra.  We implement the
+representative computation: 4th-order centred first/second derivatives
+over several coupled fields plus a nonlinear pointwise RHS combine,
+validated against an explicit-loop reference.
+
+Systems profile: regular sweeps like fotonik3d, but with far more FLOPs
+per point, so it is compute- rather than bandwidth-bound: near-linear
+scaling (Fig 2e), low-mid bandwidth, Harmony in pairings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.stream import AccessBatch, take
+from repro.workloads.addr import AddressMap
+from repro.workloads.base import CodeRegion
+
+#: 4th-order centred first-derivative coefficients for offsets -2..2.
+_D1 = np.array([1.0, -8.0, 0.0, 8.0, -1.0]) / 12.0
+#: 4th-order centred second-derivative coefficients for offsets -2..2.
+_D2 = np.array([-1.0, 16.0, -30.0, 16.0, -1.0]) / 12.0
+
+
+def deriv4(f: np.ndarray, axis: int, h: float, *, order: int = 1) -> np.ndarray:
+    """4th-order centred derivative along ``axis`` (zero at boundary).
+
+    Args:
+        f: 3-D field.
+        axis: 0, 1 or 2.
+        h: Grid spacing.
+        order: 1 (first derivative) or 2 (second).
+    """
+    if order not in (1, 2):
+        raise WorkloadError("order must be 1 or 2")
+    if f.ndim != 3:
+        raise WorkloadError("field must be 3-D")
+    coeffs = _D1 if order == 1 else _D2
+    scale = h if order == 1 else h * h
+    out = np.zeros_like(f)
+    inner = [slice(2, -2)] * 3
+    acc = np.zeros_like(f[tuple(inner)])
+    for k, c in zip(range(-2, 3), coeffs):
+        if c == 0.0:
+            continue
+        idx = [slice(2, -2)] * 3
+        idx[axis] = slice(2 + k, f.shape[axis] - 2 + k)
+        acc += c * f[tuple(idx)]
+    out[tuple(inner)] = acc / scale
+    return out
+
+
+def bssn_rhs(fields: dict[str, np.ndarray], h: float) -> dict[str, np.ndarray]:
+    """A representative BSSN-like right-hand side.
+
+    phi' = K; K' = laplacian(phi) - K^2; gxx' = -2 K gxx + d_x(beta).
+    Not the full Einstein system, but the same computational structure:
+    several coupled fields, 4th-order derivatives, nonlinear couplings.
+    """
+    phi, k, gxx, beta = fields["phi"], fields["K"], fields["gxx"], fields["beta"]
+    lap_phi = sum(deriv4(phi, ax, h, order=2) for ax in range(3))
+    return {
+        "phi": k.copy(),
+        "K": lap_phi - k * k,
+        "gxx": -2.0 * k * gxx + deriv4(beta, 0, h),
+        "beta": 0.5 * deriv4(gxx, 0, h),
+    }
+
+
+@dataclass
+class CactuBSSN:
+    """RK2 evolution of the BSSN-like system on an ``n``^3 grid."""
+
+    name: ClassVar[str] = "cactuBSSN"
+    suite: ClassVar[str] = "SPEC CPU2017"
+    regions: ClassVar[tuple[CodeRegion, ...]] = (
+        CodeRegion("ML_BSSN_RHS", "ML_BSSN_EvolutionInterior.cc", 301, 402),
+    )
+
+    n: int = 20
+    steps: int = 6
+    dt: float = 0.01
+    seed: int = 14
+    _amap: AddressMap = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        pts = self.n**3
+        amap = AddressMap(base_line=1 << 41)
+        for f in ("phi", "K", "gxx", "beta", "rhs"):
+            amap.alloc(f, pts, 8)
+        self._amap = amap
+
+    def run(self) -> dict[str, float]:
+        """Evolve; returns the max-norm of each field at the end."""
+        rng = np.random.default_rng(self.seed)
+        n = self.n
+        h = 1.0 / n
+        fields = {
+            "phi": rng.normal(0, 0.01, (n, n, n)),
+            "K": rng.normal(0, 0.01, (n, n, n)),
+            "gxx": 1.0 + rng.normal(0, 0.01, (n, n, n)),
+            "beta": rng.normal(0, 0.01, (n, n, n)),
+        }
+        for _ in range(self.steps):
+            k1 = bssn_rhs(fields, h)
+            mid = {f: fields[f] + 0.5 * self.dt * k1[f] for f in fields}
+            k2 = bssn_rhs(mid, h)
+            fields = {f: fields[f] + self.dt * k2[f] for f in fields}
+        self._fields = fields
+        return {f: float(np.abs(v).max()) for f, v in fields.items()}
+
+    def _trace_batches(self, seed: int) -> list[AccessBatch]:
+        pts = self.n**3
+        idx = np.arange(0, pts, 8, dtype=np.int64)
+        out: list[AccessBatch] = []
+        for _ in range(self.steps):
+            for f in ("phi", "K", "gxx", "beta"):
+                out.append(
+                    AccessBatch.from_lines(
+                        self._amap.lines(f, idx),
+                        ip=1020,
+                        # ~60 FLOPs per point (derivative taps + algebra).
+                        instructions=60 * len(idx),
+                        region=0,
+                    )
+                )
+            out.append(
+                AccessBatch.from_lines(
+                    self._amap.lines("rhs", idx),
+                    ip=1021, write=True, instructions=4 * len(idx), region=0,
+                )
+            )
+        return out
+
+    def trace(self, *, max_accesses: int | None = None, seed: int = 0):
+        """Memory-access trace of one run."""
+        batches = self._trace_batches(seed)
+        if max_accesses is None:
+            yield from batches
+        else:
+            yield from take(iter(batches), max_accesses)

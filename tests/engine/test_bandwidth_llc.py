@@ -1,0 +1,153 @@
+"""Property-based tests for the bus resolver and LLC allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import allocate_llc, resolve_bus
+from repro.engine.bandwidth import _waterfill
+from repro.errors import EngineError
+from repro.machine.spec import MemorySpec
+from repro.units import GB, MiB
+
+SPEC = MemorySpec()
+
+
+demand_lists = st.lists(
+    st.floats(min_value=0, max_value=40e9), min_size=1, max_size=6
+)
+unit_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestWaterfill:
+    def test_proportional_when_uncapped(self):
+        out = _waterfill([10.0, 10.0], [1.0, 3.0], 4.0)
+        assert out == pytest.approx([1.0, 3.0])
+
+    def test_caps_at_demand_and_redistributes(self):
+        out = _waterfill([1.0, 10.0], [1.0, 1.0], 6.0)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(5.0)
+
+    def test_zero_demand_gets_nothing(self):
+        out = _waterfill([0.0, 5.0], [1.0, 1.0], 4.0)
+        assert out[0] == 0.0 and out[1] == pytest.approx(4.0)
+
+    @given(
+        demands=demand_lists,
+        cap=st.floats(min_value=1e6, max_value=60e9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_and_caps(self, demands, cap):
+        weights = [1.0] * len(demands)
+        out = _waterfill(list(demands), weights, cap)
+        assert sum(out) <= min(cap, sum(demands)) * (1 + 1e-9)
+        for d, a in zip(demands, out):
+            assert a <= d * (1 + 1e-9)
+            assert a >= 0
+
+
+class TestResolveBus:
+    def test_under_peak_all_served(self):
+        bus = resolve_bus([5 * GB, 6 * GB], SPEC)
+        assert bus.achieved == (5 * GB, 6 * GB)
+        assert not bus.saturated
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(EngineError):
+            resolve_bus([-1.0], SPEC)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(EngineError):
+            resolve_bus([1.0], SPEC, bw_efficiencies=[1.0, 1.0])
+
+    def test_row_hit_priority_at_saturation(self):
+        bus = resolve_bus(
+            [20 * GB, 20 * GB], SPEC,
+            regularities=[1.0, 0.0],
+        )
+        assert bus.saturated
+        assert bus.achieved[0] > bus.achieved[1]
+
+    def test_solo_regular_app_keeps_full_peak(self):
+        # A single stream suffers no mixing penalty regardless of its
+        # own efficiency (the deficit needs *competing* streams).
+        bus = resolve_bus([40 * GB], SPEC, bw_efficiencies=[0.7],
+                          regularities=[0.9])
+        assert bus.effective_peak == pytest.approx(SPEC.peak_bandwidth_bytes)
+
+    def test_mixing_two_streams_lowers_peak(self):
+        bus = resolve_bus(
+            [18 * GB, 18 * GB], SPEC,
+            bw_efficiencies=[0.75, 0.8],
+            regularities=[0.6, 0.6],
+        )
+        assert bus.effective_peak < SPEC.peak_bandwidth_bytes * 0.95
+
+    def test_irregular_partner_spares_the_peak(self):
+        mixed = resolve_bus(
+            [18 * GB, 10 * GB], SPEC,
+            bw_efficiencies=[0.75, 1.0], regularities=[0.6, 0.1],
+        )
+        streams = resolve_bus(
+            [18 * GB, 10 * GB], SPEC,
+            bw_efficiencies=[0.75, 1.0], regularities=[0.6, 0.9],
+        )
+        assert mixed.effective_peak >= streams.effective_peak
+
+    @given(
+        demands=demand_lists,
+        effs=st.lists(st.floats(min_value=0.3, max_value=1.0), min_size=6, max_size=6),
+        regs=st.lists(unit_floats, min_size=6, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, demands, effs, regs):
+        n = len(demands)
+        bus = resolve_bus(demands, SPEC, bw_efficiencies=effs[:n], regularities=regs[:n])
+        assert sum(bus.achieved) <= bus.effective_peak * (1 + 1e-9) or not bus.saturated
+        for d, a in zip(demands, bus.achieved):
+            assert 0 <= a <= d * (1 + 1e-9)
+        assert 0 <= bus.utilization <= 1.0
+        assert bus.latency_multiplier >= 1.0
+
+
+class TestAllocateLlc:
+    def test_single_app_gets_min_of_footprint_and_capacity(self):
+        out = allocate_llc(20 * MiB, [1.0], [8 * MiB])
+        assert out[0] == pytest.approx(8 * MiB)
+        out = allocate_llc(20 * MiB, [1.0], [40 * MiB])
+        assert out[0] == pytest.approx(20 * MiB)
+
+    def test_zero_pressure_even_split(self):
+        out = allocate_llc(20 * MiB, [0.0, 0.0], [40 * MiB, 40 * MiB])
+        assert out[0] == pytest.approx(out[1])
+
+    def test_heavy_inserter_wins(self):
+        out = allocate_llc(20 * MiB, [10.0, 1.0], [40 * MiB, 40 * MiB])
+        assert out[0] > 3 * out[1]
+
+    def test_floor_protects_light_inserter(self):
+        out = allocate_llc(20 * MiB, [1000.0, 1.0], [40 * MiB, 40 * MiB])
+        assert out[1] >= 0.02 * 20 * MiB * 0.99
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            allocate_llc(0, [1.0], [1.0])
+        with pytest.raises(EngineError):
+            allocate_llc(1.0, [1.0], [])
+        with pytest.raises(EngineError):
+            allocate_llc(1.0, [-1.0], [1.0])
+
+    @given(
+        pressures=st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=5),
+        footprints=st.lists(st.floats(min_value=1e5, max_value=1e8), min_size=5, max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_and_footprint_caps(self, pressures, footprints):
+        cap = 20.0 * MiB
+        n = len(pressures)
+        out = allocate_llc(cap, pressures, footprints[:n])
+        assert sum(out) <= cap * (1 + 1e-6)
+        for alloc, fp in zip(out, footprints):
+            assert alloc <= fp * (1 + 1e-6)
+            assert alloc >= 0

@@ -1,0 +1,169 @@
+"""Tests for the per-core hierarchy and the assembled Machine."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import Machine, small_test_machine, xeon_e5_4650
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_test_machine(n_cores=2))
+
+
+class TestAccessPath:
+    def test_first_access_goes_to_memory(self, machine):
+        res = machine.access(0, ip=0, line=100)
+        assert res.level == "MEM"
+        spec = machine.spec
+        assert res.latency_cycles >= spec.llc.latency_cycles + spec.memory.idle_latency_cycles
+
+    def test_repeat_hits_l1(self, machine):
+        machine.access(0, ip=0, line=100)
+        res = machine.access(0, ip=0, line=100)
+        assert res.level == "L1"
+        assert res.latency_cycles == machine.spec.l1d.latency_cycles
+
+    def test_llc_shared_across_cores(self, machine):
+        machine.access(0, ip=0, line=100)
+        res = machine.access(1, ip=0, line=100)
+        # Core 1 misses its private L1/L2 but hits the shared LLC.
+        assert res.level == "LLC"
+
+    def test_l2_hit_after_l1_eviction(self):
+        m = Machine(small_test_machine())
+        spec = m.spec
+        # Touch enough distinct lines to overflow L1 (4 KiB = 64 lines)
+        # but stay within L2 (16 KiB = 256 lines).
+        lines = spec.l1d.n_lines * 2
+        for line in range(lines):
+            m.access(0, ip=0, line=line)
+        m.set_all_prefetchers(False)
+        res = m.access(0, ip=0, line=0)
+        assert res.level in {"L2", "LLC"}  # certainly not MEM
+
+    def test_bus_utilization_inflates_memory_latency(self, machine):
+        lo = machine.access(0, ip=0, line=500, bus_utilization=0.0)
+        hi = machine.access(0, ip=0, line=9500, bus_utilization=0.95)
+        assert hi.latency_cycles > lo.latency_cycles
+
+    def test_stats_accumulate(self, machine):
+        machine.access(0, ip=0, line=1)
+        machine.access(0, ip=0, line=1)
+        st = machine.cores[0].stats
+        assert st.accesses == 2
+        assert st.l1_hits == 1
+        assert st.mem_accesses == 1
+        assert st.pending_cycles > 0
+
+
+class TestPrefetchIntegration:
+    def test_sequential_scan_benefits_from_prefetchers(self):
+        on = Machine(small_test_machine())
+        off = Machine(small_test_machine())
+        off.set_all_prefetchers(False)
+        n = 2000
+        for line in range(n):
+            on.access(0, ip=1, line=line)
+            off.access(0, ip=1, line=line)
+        assert on.cores[0].stats.mem_accesses < off.cores[0].stats.mem_accesses
+        # Prefetch traffic is not free: it shows up as bus bytes.
+        assert on.memory.owner_stats(-1).prefetch_bytes > 0
+
+    def test_prefetchers_do_not_help_random(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 1 << 22, size=3000)
+        on = Machine(small_test_machine())
+        off = Machine(small_test_machine())
+        off.set_all_prefetchers(False)
+        for line in lines:
+            on.access(0, ip=2, line=int(line))
+            off.access(0, ip=2, line=int(line))
+        on_mem = on.cores[0].stats.mem_accesses
+        off_mem = off.cores[0].stats.mem_accesses
+        # Within 25%: random traffic gains nothing (and pays pollution).
+        assert on_mem >= off_mem * 0.75
+
+    def test_msr_gates_prefetchers(self, machine):
+        machine.set_all_prefetchers(False)
+        assert not any(machine.cores[0].prefetchers.enabled.values())
+        machine.set_all_prefetchers(True)
+        assert all(machine.cores[1].prefetchers.enabled.values())
+
+
+class TestBinding:
+    def test_exclusive_binding(self):
+        m = Machine(xeon_e5_4650())
+        m.bind(1, (0, 1, 2, 3))
+        m.bind(2, (4, 5, 6, 7))
+        with pytest.raises(MachineConfigError):
+            m.bind(3, (3, 4))
+
+    def test_rebind_same_app_rejected(self):
+        m = Machine(xeon_e5_4650())
+        m.bind(1, (0,))
+        with pytest.raises(MachineConfigError):
+            m.bind(1, (1,))
+
+    def test_unbind_then_rebind(self):
+        m = Machine(xeon_e5_4650())
+        m.bind(1, (0, 1))
+        m.unbind(1)
+        m.bind(2, (0, 1))
+        assert m.binding(2) == (0, 1)
+
+    def test_unbind_unknown_app(self):
+        m = Machine(xeon_e5_4650())
+        with pytest.raises(MachineConfigError):
+            m.unbind(9)
+
+    def test_binding_lookup_missing(self):
+        m = Machine(xeon_e5_4650())
+        with pytest.raises(MachineConfigError):
+            m.binding(9)
+
+    def test_traffic_attributed_to_bound_owner(self):
+        m = Machine(small_test_machine(n_cores=2))
+        m.bind(7, (0,))
+        m.access(0, ip=0, line=123)
+        assert m.memory.owner_stats(7).demand_bytes > 0
+
+    def test_empty_binding_rejected(self):
+        m = Machine(xeon_e5_4650())
+        with pytest.raises(MachineConfigError):
+            m.bind(1, ())
+
+    def test_out_of_range_core_rejected(self):
+        m = Machine(xeon_e5_4650())
+        with pytest.raises(MachineConfigError):
+            m.bind(1, (8,))
+        with pytest.raises(MachineConfigError):
+            m.access(8, ip=0, line=0)
+
+
+class TestLifecycle:
+    def test_reset_stats_keeps_contents(self, machine):
+        machine.access(0, ip=0, line=77)
+        machine.reset_stats()
+        assert machine.cores[0].stats.accesses == 0
+        res = machine.access(0, ip=0, line=77)
+        assert res.level == "L1"  # contents survived
+
+    def test_full_reset_drops_contents(self, machine):
+        machine.access(0, ip=0, line=77)
+        machine.reset()
+        res = machine.access(0, ip=0, line=77)
+        assert res.level == "MEM"
+
+    def test_reset_preserves_msr(self, machine):
+        machine.set_all_prefetchers(False)
+        machine.reset()
+        assert not any(machine.prefetchers_enabled(0).values())
+
+    def test_line_of(self, machine):
+        assert machine.line_of(0) == 0
+        assert machine.line_of(63) == 0
+        assert machine.line_of(64) == 1
+        assert machine.line_of(6400) == 100

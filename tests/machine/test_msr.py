@@ -1,0 +1,77 @@
+"""Tests for the MSR bank and prefetcher-control register semantics."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import MSR_MISC_FEATURE_CONTROL, MsrBank, PrefetchDisable
+
+
+class TestMsrBank:
+    def test_unwritten_reads_zero(self):
+        bank = MsrBank(4)
+        assert bank.read(0, MSR_MISC_FEATURE_CONTROL) == 0
+        assert bank.read(3, 0x123) == 0
+
+    def test_write_read_roundtrip(self):
+        bank = MsrBank(2)
+        bank.write(1, 0x10, 0xDEAD)
+        assert bank.read(1, 0x10) == 0xDEAD
+        assert bank.read(0, 0x10) == 0  # per-core isolation
+
+    def test_core_range_checked(self):
+        bank = MsrBank(2)
+        with pytest.raises(MachineConfigError):
+            bank.read(2, 0x10)
+        with pytest.raises(MachineConfigError):
+            bank.write(-1, 0x10, 0)
+
+    def test_negative_value_rejected(self):
+        bank = MsrBank(1)
+        with pytest.raises(MachineConfigError):
+            bank.write(0, 0x10, -1)
+
+    def test_reserved_bits_rejected_on_0x1a4(self):
+        bank = MsrBank(1)
+        with pytest.raises(MachineConfigError):
+            bank.write(0, MSR_MISC_FEATURE_CONTROL, 0x10)
+
+    def test_write_all(self):
+        bank = MsrBank(8)
+        bank.write_all(MSR_MISC_FEATURE_CONTROL, int(PrefetchDisable.ALL))
+        for c in range(8):
+            assert bank.read(c, MSR_MISC_FEATURE_CONTROL) == 0xF
+
+
+class TestPrefetcherDecode:
+    def test_all_enabled_by_default(self):
+        bank = MsrBank(1)
+        assert all(bank.prefetchers_enabled(0).values())
+
+    def test_all_disabled(self):
+        bank = MsrBank(1)
+        bank.set_all_prefetchers(False)
+        assert not any(bank.prefetchers_enabled(0).values())
+
+    def test_individual_bits(self):
+        bank = MsrBank(1)
+        bank.disable(0, PrefetchDisable.L2_STREAM)
+        state = bank.prefetchers_enabled(0)
+        assert not state["l2_stream"]
+        assert state["l2_adjacent"]
+        assert state["l1_next_line"]
+        assert state["l1_ip_stride"]
+
+    def test_enable_clears_bits(self):
+        bank = MsrBank(1)
+        bank.set_all_prefetchers(False)
+        bank.enable(0, PrefetchDisable.L1_NEXT_LINE | PrefetchDisable.L1_IP_STRIDE)
+        state = bank.prefetchers_enabled(0)
+        assert state["l1_next_line"] and state["l1_ip_stride"]
+        assert not state["l2_stream"] and not state["l2_adjacent"]
+
+    def test_disable_is_cumulative(self):
+        bank = MsrBank(1)
+        bank.disable(0, PrefetchDisable.L2_STREAM)
+        bank.disable(0, PrefetchDisable.L2_ADJACENT)
+        state = bank.prefetchers_enabled(0)
+        assert not state["l2_stream"] and not state["l2_adjacent"]

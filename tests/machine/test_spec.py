@@ -1,0 +1,104 @@
+"""Tests for machine specifications (geometry, validation, defaults)."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine import CacheSpec, MachineSpec, MemorySpec, PrefetcherSpec, xeon_e5_4650
+from repro.units import GB, GiB, KiB, MiB
+
+
+class TestCacheSpec:
+    def test_basic_geometry(self):
+        c = CacheSpec("L1D", 32 * KiB, associativity=8)
+        assert c.n_lines == 512
+        assert c.n_sets == 64
+
+    def test_llc_geometry(self):
+        llc = CacheSpec("LLC", 20 * MiB, associativity=20)
+        assert llc.n_lines == 20 * MiB // 64
+        assert llc.n_sets == llc.n_lines // 20
+        # 20 MiB / (64 * 20) = 16384 sets: a power of two.
+        assert llc.n_sets == 16384
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(MachineConfigError):
+            CacheSpec("X", 0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(MachineConfigError):
+            CacheSpec("X", 32 * KiB, line_bytes=96)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(MachineConfigError):
+            CacheSpec("X", 1000, associativity=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 3 * 64 * 8 bytes => 3 sets.
+        with pytest.raises(MachineConfigError):
+            CacheSpec("X", 3 * 64 * 8, associativity=8)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(MachineConfigError):
+            CacheSpec("X", 32 * KiB, latency_cycles=0)
+
+
+class TestMemorySpec:
+    def test_defaults_match_paper(self):
+        m = MemorySpec()
+        assert m.peak_bandwidth_bytes == pytest.approx(28 * GB)
+        assert m.capacity_bytes == 64 * GiB
+
+    def test_validation(self):
+        with pytest.raises(MachineConfigError):
+            MemorySpec(peak_bandwidth_bytes=0)
+        with pytest.raises(MachineConfigError):
+            MemorySpec(max_utilization=1.5)
+        with pytest.raises(MachineConfigError):
+            MemorySpec(queue_gain=-1)
+        with pytest.raises(MachineConfigError):
+            MemorySpec(idle_latency_cycles=0)
+
+
+class TestPrefetcherSpec:
+    def test_defaults(self):
+        p = PrefetcherSpec()
+        assert p.l2_stream_depth > 0
+
+    def test_validation(self):
+        with pytest.raises(MachineConfigError):
+            PrefetcherSpec(l2_stream_depth=0)
+        with pytest.raises(MachineConfigError):
+            PrefetcherSpec(l1_ip_confidence=0)
+
+
+class TestMachineSpec:
+    def test_xeon_defaults_match_paper(self):
+        spec = xeon_e5_4650()
+        assert spec.n_cores == 8
+        assert spec.freq_hz == pytest.approx(2.7e9)
+        assert spec.l1d.size_bytes == 32 * KiB
+        assert spec.l2.size_bytes == 256 * KiB
+        assert spec.llc.size_bytes == 20 * MiB
+        assert not spec.hyperthreading
+
+    def test_line_bytes_uniform(self):
+        assert xeon_e5_4650().line_bytes == 64
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(l1d=CacheSpec("L1D", 32 * KiB, line_bytes=128))
+
+    def test_hyperthreading_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(hyperthreading=True)
+
+    def test_scaled_llc(self):
+        spec = xeon_e5_4650()
+        half = spec.scaled_llc(10 * MiB)
+        assert half.llc.size_bytes == 10 * MiB
+        assert half.llc.associativity == spec.llc.associativity
+        assert spec.llc.size_bytes == 20 * MiB  # original untouched
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(MachineConfigError):
+            MachineSpec(n_cores=0)

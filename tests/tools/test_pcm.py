@@ -1,0 +1,66 @@
+"""Tests for the pcm-memory analogue."""
+
+import pytest
+
+from repro.engine import IntervalEngine
+from repro.engine.results import BandwidthSample
+from repro.errors import ExperimentError
+from repro.tools import PcmMemoryMonitor
+from repro.units import GB
+from repro.workloads.registry import get_profile
+
+
+def mk(t, **bw):
+    return BandwidthSample(time_s=t, bytes_per_s=bw)
+
+
+class TestResampling:
+    def test_constant_signal_preserved(self):
+        timeline = [mk(t / 2, app=2.0 * GB) for t in range(1, 41)]  # 20 s
+        report = PcmMemoryMonitor(granularity_s=5.0).observe(timeline)
+        assert len(report.samples) == 4
+        for s in report.samples:
+            assert s.bytes_per_s["app"] == pytest.approx(2.0 * GB)
+
+    def test_average_and_peak(self):
+        timeline = [mk(1.0, a=1.0 * GB), mk(2.0, a=3.0 * GB)]
+        report = PcmMemoryMonitor(granularity_s=2.0).observe(timeline)
+        assert report.average_bytes_per_s("a") == pytest.approx(2.0 * GB)
+        assert report.average_gb_s() == pytest.approx(2.0)
+
+    def test_two_apps_total(self):
+        timeline = [mk(1.0, a=1.0 * GB, b=2.0 * GB)]
+        report = PcmMemoryMonitor(granularity_s=1.0).observe(timeline)
+        assert report.samples[0].total_bytes_per_s == pytest.approx(3.0 * GB)
+        assert set(report.apps) == {"a", "b"}
+
+    def test_empty_timeline(self):
+        report = PcmMemoryMonitor().observe([])
+        assert report.samples == []
+        assert report.average_bytes_per_s() == 0.0
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ExperimentError):
+            PcmMemoryMonitor(granularity_s=0)
+
+    def test_table_renders(self):
+        timeline = [mk(1.0, alpha=1.0 * GB)]
+        txt = PcmMemoryMonitor(granularity_s=1.0).observe(timeline).table()
+        assert "alpha" in txt and "System" in txt
+
+
+class TestWithEngine:
+    def test_engine_timeline_average_matches_metrics(self):
+        engine = IntervalEngine()
+        prof = get_profile("IRSmk")
+        res = engine.solo_run(prof, threads=4, max_dt=1.0)
+        report = PcmMemoryMonitor(granularity_s=2.0).observe(res.timeline)
+        avg = report.average_bytes_per_s("IRSmk")
+        assert avg == pytest.approx(res.metrics.avg_bandwidth_bytes, rel=0.1)
+
+    def test_corun_reports_both_apps(self):
+        engine = IntervalEngine()
+        res = engine.co_run(get_profile("G-CC"), get_profile("Stream"), max_dt=1.0)
+        report = PcmMemoryMonitor(granularity_s=2.0).observe(res.timeline)
+        assert set(report.apps) == {"G-CC", "Stream"}
+        assert report.average_gb_s() < 28.5

@@ -1,0 +1,76 @@
+"""Tests for the VTune analogue."""
+
+import pytest
+
+from repro.engine import IntervalEngine
+from repro.engine.results import AppMetrics
+from repro.errors import ExperimentError
+from repro.tools import VtuneProfiler
+from repro.workloads.registry import get_profile
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return IntervalEngine()
+
+
+@pytest.fixture(scope="module")
+def atis_solo(engine):
+    return engine.solo_run(get_profile("ATIS"), threads=4)
+
+
+class TestHotspots:
+    def test_rows_cover_all_regions(self, engine):
+        res = engine.solo_run(get_profile("AMG2006"), threads=4)
+        rows = VtuneProfiler().hotspots(res.metrics)
+        assert {r.region for r in rows} == {
+            "setup_fine_grid", "setup_coarse_hierarchy", "vcycle_solve",
+        }
+
+    def test_sorted_by_cycles(self, engine):
+        res = engine.solo_run(get_profile("fotonik3d"), threads=4)
+        rows = VtuneProfiler().hotspots(res.metrics)
+        shares = [r.cycles_share for r in rows]
+        assert shares == sorted(shares, reverse=True)
+        assert rows[0].region == "UUS"
+
+    def test_cycle_shares_sum_to_one(self, engine):
+        res = engine.solo_run(get_profile("AMG2006"), threads=4)
+        rows = VtuneProfiler().hotspots(res.metrics)
+        assert sum(r.cycles_share for r in rows) == pytest.approx(1.0)
+
+    def test_atis_barrier_dominates_at_4_threads(self, atis_solo):
+        """The paper's headline ATIS finding: >=4 threads spend ~80% of
+        cycles in kmp_hyper_barrier_release."""
+        top = VtuneProfiler().top_hotspot(atis_solo.metrics)
+        assert top.region == "kmp_hyper_barrier_release"
+        assert top.cycles_share > 0.6
+
+    def test_atis_barrier_small_at_2_threads(self, engine):
+        res = engine.solo_run(get_profile("ATIS"), threads=2)
+        rows = {r.region: r for r in VtuneProfiler().hotspots(res.metrics)}
+        assert rows["kmp_hyper_barrier_release"].cycles_share < 0.55
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ExperimentError):
+            VtuneProfiler().hotspots(AppMetrics(name="x", threads=4))
+
+    def test_report_renders(self, atis_solo):
+        txt = VtuneProfiler().report(atis_solo.metrics)
+        assert "kmp_hyper_barrier_release" in txt
+        assert "CPI" in txt
+
+
+class TestComparison:
+    def test_ppr_gather_inflates_under_offender(self, engine):
+        ppr = get_profile("P-PR")
+        solo = engine.solo_run(ppr, threads=4)
+        co = engine.co_run(ppr, get_profile("fotonik3d"))
+        cmp = VtuneProfiler().compare(solo.metrics, co.fg, "gather")
+        assert cmp.cpi_inflation > 1.3
+        assert cmp.mpki_inflation > 1.1
+        assert cmp.ll_inflation > 1.3
+
+    def test_missing_region_rejected(self, engine, atis_solo):
+        with pytest.raises(ExperimentError):
+            VtuneProfiler().compare(atis_solo.metrics, atis_solo.metrics, "nope")

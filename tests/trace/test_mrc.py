@@ -1,0 +1,116 @@
+"""Tests for miss-ratio curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace import MissRatioCurve, reuse_distances, miss_ratio_at
+from repro.trace import synth, concat_lines
+from repro.units import KiB, MiB
+
+
+class TestConstruction:
+    def test_from_points(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.8), (8 * MiB, 0.2)])
+        assert mrc.miss_ratio(1 * MiB) == pytest.approx(0.8)
+        assert mrc.miss_ratio(8 * MiB) == pytest.approx(0.2)
+
+    def test_constant(self):
+        mrc = MissRatioCurve.constant(0.5)
+        assert mrc.miss_ratio(1) == pytest.approx(0.5)
+        assert mrc.miss_ratio(100 * MiB) == pytest.approx(0.5)
+
+    def test_increasing_ratios_rejected(self):
+        with pytest.raises(TraceError):
+            MissRatioCurve.from_points([(1 * MiB, 0.2), (8 * MiB, 0.5)])
+
+    def test_bad_ratio_range_rejected(self):
+        with pytest.raises(TraceError):
+            MissRatioCurve.from_points([(1 * MiB, 1.2), (2 * MiB, 0.2)])
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            MissRatioCurve.from_points([(0, 0.5), (1 * MiB, 0.2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            MissRatioCurve(np.array([]), np.array([]))
+
+
+class TestQueries:
+    def test_clamped_outside_range(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.8), (8 * MiB, 0.2)])
+        assert mrc.miss_ratio(1 * KiB) == pytest.approx(0.8)
+        assert mrc.miss_ratio(100 * MiB) == pytest.approx(0.2)
+
+    def test_zero_capacity_worst_case(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.8), (8 * MiB, 0.2)])
+        assert mrc.miss_ratio(0) == pytest.approx(0.8)
+
+    def test_log_interpolation_midpoint(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.8), (4 * MiB, 0.4)])
+        # 2 MiB is the log-midpoint of 1 and 4 MiB.
+        assert mrc.miss_ratio(2 * MiB) == pytest.approx(0.6)
+
+    def test_vectorized_matches_scalar(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.9), (16 * MiB, 0.1)])
+        caps = np.array([0.5 * MiB, 2 * MiB, 20 * MiB])
+        vec = mrc.miss_ratios(caps)
+        for c, v in zip(caps, vec):
+            assert v == pytest.approx(mrc.miss_ratio(float(c)))
+
+    def test_compulsory_and_footprint(self):
+        mrc = MissRatioCurve.from_points(
+            [(1 * MiB, 0.9), (4 * MiB, 0.3), (8 * MiB, 0.1), (16 * MiB, 0.1)]
+        )
+        assert mrc.compulsory_ratio == pytest.approx(0.1)
+        assert mrc.footprint_bytes == pytest.approx(8 * MiB)
+
+    def test_marginal_utility_positive_on_slope(self):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.9), (16 * MiB, 0.1)])
+        assert mrc.marginal_utility(4 * MiB) > 0
+        flat = MissRatioCurve.constant(0.3)
+        assert flat.marginal_utility(4 * MiB) == 0.0
+
+    @given(st.floats(min_value=64, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_always_valid(self, cap):
+        mrc = MissRatioCurve.from_points([(1 * MiB, 0.7), (4 * MiB, 0.5), (32 * MiB, 0.0)])
+        r = mrc.miss_ratio(cap)
+        assert 0.0 <= r <= 1.0
+
+
+class TestFromDistances:
+    def test_matches_exact_at_sampled_points(self):
+        lines = concat_lines(synth.zipf(8000, 2000, alpha=1.1, seed=11))
+        d = reuse_distances(lines)
+        mrc = MissRatioCurve.from_reuse_distances(d)
+        for cap_lines in [1, 16, 256, 1024]:
+            exact = miss_ratio_at(d, cap_lines)
+            approx = mrc.miss_ratio(cap_lines * 64)
+            assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_sequential_trace_flat_at_one(self):
+        lines = concat_lines(synth.sequential(4000))
+        mrc = MissRatioCurve.from_reuse_distances(reuse_distances(lines))
+        assert mrc.miss_ratio(64) == pytest.approx(1.0)
+        assert mrc.compulsory_ratio == pytest.approx(1.0)
+
+    def test_small_working_set_drops_to_floor(self):
+        lines = concat_lines(synth.random_uniform(8000, 64, seed=12))
+        mrc = MissRatioCurve.from_reuse_distances(reuse_distances(lines))
+        assert mrc.miss_ratio(64 * 64) <= 0.05  # footprint fits
+        assert mrc.miss_ratio(64) > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            MissRatioCurve.from_reuse_distances(np.array([], dtype=np.int64))
+
+    def test_monotone(self):
+        lines = concat_lines(synth.zipf(5000, 500, seed=13))
+        mrc = MissRatioCurve.from_reuse_distances(reuse_distances(lines))
+        caps = np.geomspace(64, 1 * MiB, 30)
+        vals = mrc.miss_ratios(caps)
+        assert np.all(np.diff(vals) <= 1e-9)

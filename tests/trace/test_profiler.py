@@ -1,0 +1,100 @@
+"""Tests for the trace profiler (kernel -> measured characterization)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.machine import small_test_machine
+from repro.trace import TraceProfiler, synth
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return TraceProfiler(small_test_machine())
+
+
+class TestCharacterize:
+    def test_sequential_is_regular(self, profiler):
+        char = profiler.characterize(synth.sequential(8000), max_accesses=8000)
+        assert char.regularity > 0.5  # prefetchers remove most DRAM demand
+        # Fresh lines every access: streaming floor of the MRC is 1.0.
+        assert char.llc_mrc.compulsory_ratio == pytest.approx(1.0)
+
+    def test_random_is_irregular(self, profiler):
+        char = profiler.characterize(
+            synth.random_uniform(8000, 1 << 20, seed=1), max_accesses=8000
+        )
+        assert char.regularity < 0.2
+
+    def test_small_footprint_low_l2_mpki(self, profiler):
+        # Working set fits in the tiny L1: almost no L2 misses after warmup.
+        char = profiler.characterize(
+            synth.random_uniform(8000, 16, seed=2), max_accesses=8000
+        )
+        assert char.l2_mpki < 5.0
+
+    def test_streaming_has_high_l2_mpki(self, profiler):
+        char = profiler.characterize(
+            synth.sequential(8000, instructions_per_access=1.0), max_accesses=8000
+        )
+        assert char.l2_mpki > 500.0  # every access is a fresh line
+
+    def test_footprint_measured(self, profiler):
+        char = profiler.characterize(
+            synth.random_uniform(20000, 4096, seed=3), max_accesses=20000
+        )
+        # 4096 lines * 64 B = 256 KiB reach past L2 on this tiny machine.
+        assert 32 * KiB < char.footprint_bytes <= 260 * KiB
+
+    def test_refs_per_kinstr(self, profiler):
+        char = profiler.characterize(
+            synth.sequential(2000, instructions_per_access=10.0), max_accesses=2000
+        )
+        assert char.refs_per_kinstr == pytest.approx(100.0, rel=0.05)
+
+    def test_write_fraction(self, profiler):
+        char = profiler.characterize(
+            synth.random_uniform(4000, 256, write_ratio=0.5, seed=4),
+            max_accesses=4000,
+        )
+        assert 0.4 < char.write_fraction < 0.6
+
+    def test_empty_trace_rejected(self, profiler):
+        with pytest.raises(TraceError):
+            profiler.characterize(iter([]))
+
+    def test_mrc_reflects_working_set(self, profiler):
+        char = profiler.characterize(
+            synth.random_uniform(30000, 2048, seed=5), max_accesses=30000
+        )
+        # 2048-line (128 KiB) working set: big allocation ~ floor,
+        # tiny allocation much worse.
+        assert char.llc_mrc.miss_ratio(1 * KiB) > char.llc_mrc.miss_ratio(1 * MiB) + 0.2
+
+
+class TestBuildProfile:
+    def test_roundtrip_to_engine_profile(self, profiler):
+        prof = profiler.build_profile(
+            "custom-seq",
+            synth.sequential(4000, instructions_per_access=4.0),
+            ipc_core=2.5,
+            max_accesses=4000,
+        )
+        assert prof.name == "custom-seq"
+        assert len(prof.regions) == 1
+        r = prof.regions[0]
+        assert r.weight == 1.0
+        assert r.ipc_core == 2.5
+        assert r.regularity > 0.5
+        assert prof.total_kinstr == pytest.approx(16.0, rel=0.1)
+
+    def test_custom_kinstr_and_suite(self, profiler):
+        prof = profiler.build_profile(
+            "x",
+            synth.random_uniform(2000, 128, seed=6),
+            suite="mysuite",
+            total_kinstr=500.0,
+            max_accesses=2000,
+        )
+        assert prof.suite == "mysuite"
+        assert prof.total_kinstr == 500.0

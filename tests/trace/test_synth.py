@@ -1,0 +1,99 @@
+"""Tests for the synthetic access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import concat_lines, synth, total_accesses
+
+
+class TestSequential:
+    def test_lines_are_consecutive(self):
+        lines = concat_lines(synth.sequential(100, start_line=5))
+        assert lines.tolist() == list(range(5, 105))
+
+    def test_instruction_density(self):
+        batches = list(synth.sequential(10, instructions_per_access=7.0))
+        assert sum(b.instructions for b in batches) == 70
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(TraceError):
+            list(synth.sequential(0))
+
+
+class TestStrided:
+    def test_stride(self):
+        lines = concat_lines(synth.strided(5, 3, start_line=1))
+        assert lines.tolist() == [1, 4, 7, 10, 13]
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(TraceError):
+            list(synth.strided(5, 0))
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(TraceError):
+            list(synth.strided(5, -3, start_line=0))
+
+
+class TestRandomUniform:
+    def test_within_footprint(self):
+        lines = concat_lines(synth.random_uniform(1000, 256, base_line=10, seed=1))
+        assert lines.min() >= 10 and lines.max() < 266
+
+    def test_deterministic_by_seed(self):
+        a = concat_lines(synth.random_uniform(100, 64, seed=3))
+        b = concat_lines(synth.random_uniform(100, 64, seed=3))
+        assert np.array_equal(a, b)
+
+    def test_write_ratio(self):
+        batches = list(synth.random_uniform(5000, 64, write_ratio=0.3, seed=2))
+        writes = sum(int(b.writes.sum()) for b in batches)
+        assert 0.2 < writes / 5000 < 0.4
+
+
+class TestZipf:
+    def test_skewed_popularity(self):
+        lines = concat_lines(synth.zipf(20000, 1000, alpha=1.2, seed=4))
+        _, counts = np.unique(lines, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top decile of lines takes most of the traffic under Zipf.
+        assert counts[:100].sum() > 0.5 * len(lines)
+
+    def test_footprint_respected(self):
+        lines = concat_lines(synth.zipf(1000, 50, seed=5))
+        assert lines.max() < 50
+
+
+class TestPointerChase:
+    def test_covers_footprint(self):
+        lines = concat_lines(synth.pointer_chase(256, 256, seed=6))
+        assert len(np.unique(lines)) == 256  # full cycle coverage
+
+    def test_not_sequential(self):
+        lines = concat_lines(synth.pointer_chase(500, 500, seed=7))
+        deltas = np.abs(np.diff(lines))
+        assert (deltas == 1).mean() < 0.05
+
+    def test_dependent_chain_is_deterministic(self):
+        a = concat_lines(synth.pointer_chase(100, 64, seed=8))
+        b = concat_lines(synth.pointer_chase(100, 64, seed=8))
+        assert np.array_equal(a, b)
+
+
+class TestConflictChase:
+    def test_same_set_mapping(self):
+        n_sets = 128
+        lines = concat_lines(synth.conflict_chase(50, n_sets=n_sets))
+        assert len(set(int(x) % n_sets for x in lines)) == 1
+
+    def test_all_lines_distinct(self):
+        lines = concat_lines(synth.conflict_chase(100, n_sets=64))
+        assert len(np.unique(lines)) == 100
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        t = synth.interleave(
+            synth.sequential(8192 * 2), synth.random_uniform(4096, 64, seed=9)
+        )
+        assert total_accesses(t) == 8192 * 2 + 4096

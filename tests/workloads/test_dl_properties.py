@@ -1,0 +1,128 @@
+"""Property-based tests for the DL tensor ops (random shapes/seeds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.dl import tensor as T
+
+
+def num_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        hi = f()
+        x[i] = orig - eps
+        lo = f()
+        x[i] = orig
+        g[i] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestLinearProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=4),
+        d=st.integers(min_value=1, max_value=5),
+        m=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_gradients_any_shape(self, n, d, m, seed):
+        rng = np.random.default_rng(seed)
+        x, w, b = rng.normal(size=(n, d)), rng.normal(size=(d, m)), rng.normal(size=m)
+        dy = rng.normal(size=(n, m))
+
+        def loss():
+            return float((T.linear_forward(x, w, b) * dy).sum())
+
+        dx, dw, db = T.linear_backward(dy, x, w)
+        assert np.allclose(dx, num_grad(loss, x), atol=1e-5)
+        assert np.allclose(dw, num_grad(loss, w), atol=1e-5)
+        assert np.allclose(db, num_grad(loss, b), atol=1e-5)
+
+    @given(seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        x1, x2 = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        w, b = rng.normal(size=(3, 2)), np.zeros(2)
+        lhs = T.linear_forward(x1 + x2, w, b)
+        rhs = T.linear_forward(x1, w, b) + T.linear_forward(x2, w, b)
+        assert np.allclose(lhs, rhs)
+
+
+class TestSoftmaxProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=5),
+        k=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_loss_nonnegative_and_shift_invariant(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(n, k))
+        labels = rng.integers(0, k, n)
+        loss, _ = T.softmax_cross_entropy(logits, labels)
+        assert loss >= 0
+        shifted, _ = T.softmax_cross_entropy(logits + 7.5, labels)
+        assert shifted == pytest.approx(loss, rel=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_gradient_rows_sum_to_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(3, 5))
+        labels = rng.integers(0, 5, 3)
+        _, d = T.softmax_cross_entropy(logits, labels)
+        # d(probs - onehot)/n: each row sums to zero.
+        assert np.allclose(d.sum(axis=1), 0, atol=1e-12)
+
+
+class TestConvPoolProperties:
+    @given(
+        c=st.integers(min_value=1, max_value=2),
+        f=st.integers(min_value=1, max_value=2),
+        size=st.sampled_from([4, 6]),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_im2col_col2im_adjoint(self, c, f, size, seed):
+        """col2im is the exact adjoint of im2col: <im2col(x), y> ==
+        <x, col2im(y)> for all x, y."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, c, size, size))
+        cols = T.im2col(x, 3, 3, pad=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = T.col2im(y, x.shape, 3, 3, pad=1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_maxpool_selects_maxima(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 4, 4))
+        y, _ = T.maxpool2x2_forward(x)
+        for ci in range(2):
+            for i in range(2):
+                for j in range(2):
+                    block = x[0, ci, 2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+                    assert y[0, ci, i, j] == block.max()
+
+
+class TestEngineDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        from repro.engine import IntervalEngine
+        from repro.workloads.registry import get_profile
+
+        a = IntervalEngine().co_run(get_profile("G-CC"), get_profile("Stream"))
+        b = IntervalEngine().co_run(get_profile("G-CC"), get_profile("Stream"))
+        assert a.fg.runtime_s == b.fg.runtime_s
+        assert a.fg.total.cycles == b.fg.total.cycles
+        assert a.bg_relative_rate == b.bg_relative_rate

@@ -1,0 +1,191 @@
+"""Gradient checks and semantics tests for the DL tensor ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.dl import tensor as T
+
+
+def num_grad(f, x, eps=1e-6):
+    """Central-difference numerical gradient of scalar f wrt array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        hi = f()
+        x[i] = orig - eps
+        lo = f()
+        x[i] = orig
+        g[i] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_forward(self):
+        x = np.array([[1.0, 2.0]])
+        w = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([0.5, -0.5])
+        assert np.allclose(T.linear_forward(x, w, b), [[1.5, 1.5]])
+
+    def test_gradients(self):
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(4, 5))
+        b = RNG.normal(size=5)
+        dy = RNG.normal(size=(3, 5))
+
+        def loss():
+            return float((T.linear_forward(x, w, b) * dy).sum())
+
+        dx, dw, db = T.linear_backward(dy, x, w)
+        assert np.allclose(dx, num_grad(loss, x), atol=1e-6)
+        assert np.allclose(dw, num_grad(loss, w), atol=1e-6)
+        assert np.allclose(db, num_grad(loss, b), atol=1e-6)
+
+
+class TestReluSoftmax:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(T.relu_forward(x), [0, 0, 2])
+        assert np.allclose(T.relu_backward(np.ones(3), x), [0, 0, 1])
+
+    def test_softmax_ce_known_value(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1]]))
+        loss, _ = T.softmax_cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(-np.log(0.7))
+
+    def test_softmax_ce_gradient(self):
+        logits = RNG.normal(size=(4, 6))
+        labels = RNG.integers(0, 6, 4)
+
+        def loss():
+            return T.softmax_cross_entropy(logits, labels)[0]
+
+        _, d = T.softmax_cross_entropy(logits, labels)
+        assert np.allclose(d, num_grad(loss, logits), atol=1e-6)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            T.softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+
+class TestConv:
+    def test_im2col_identity_kernel(self):
+        x = RNG.normal(size=(1, 1, 4, 4))
+        cols = T.im2col(x, 1, 1)
+        assert np.allclose(cols[0, 0], x.ravel())
+
+    def test_conv_matches_direct(self):
+        x = RNG.normal(size=(2, 2, 5, 5))
+        w = RNG.normal(size=(3, 2, 3, 3))
+        b = RNG.normal(size=3)
+        y, _ = T.conv2d_forward(x, w, b, pad=1)
+        assert y.shape == (2, 3, 5, 5)
+        # Direct computation at one output position.
+        n, f, i, j = 1, 2, 2, 3
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = (xp[n, :, i : i + 3, j : j + 3] * w[f]).sum() + b[f]
+        assert y[n, f, i, j] == pytest.approx(ref)
+
+    def test_conv_gradients(self):
+        x = RNG.normal(size=(2, 2, 4, 4))
+        w = RNG.normal(size=(2, 2, 3, 3))
+        b = RNG.normal(size=2)
+        dy = RNG.normal(size=(2, 2, 4, 4))
+
+        def loss():
+            y, _ = T.conv2d_forward(x, w, b, pad=1)
+            return float((y * dy).sum())
+
+        _, cols = T.conv2d_forward(x, w, b, pad=1)
+        dx, dw, db = T.conv2d_backward(dy, cols, x.shape, w, pad=1)
+        assert np.allclose(dx, num_grad(loss, x), atol=1e-5)
+        assert np.allclose(dw, num_grad(loss, w), atol=1e-5)
+        assert np.allclose(db, num_grad(loss, b), atol=1e-5)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(WorkloadError):
+            T.conv2d_forward(
+                np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 3, 3)), np.zeros(1)
+            )
+
+    def test_kernel_too_large(self):
+        with pytest.raises(WorkloadError):
+            T.im2col(np.zeros((1, 1, 2, 2)), 5, 5)
+
+
+class TestPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = T.maxpool2x2_forward(x)
+        assert np.allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient(self):
+        x = RNG.normal(size=(2, 3, 4, 4))
+        dy = RNG.normal(size=(2, 3, 2, 2))
+
+        def loss():
+            y, _ = T.maxpool2x2_forward(x)
+            return float((y * dy).sum())
+
+        _, arg = T.maxpool2x2_forward(x)
+        dx = T.maxpool2x2_backward(dy, arg, x.shape)
+        assert np.allclose(dx, num_grad(loss, x), atol=1e-6)
+
+    def test_odd_dims_rejected(self):
+        with pytest.raises(WorkloadError):
+            T.maxpool2x2_forward(np.zeros((1, 1, 3, 4)))
+
+
+class TestLSTM:
+    def test_gradients(self):
+        n, d, h = 3, 4, 5
+        x = RNG.normal(size=(n, d))
+        hp = RNG.normal(size=(n, h))
+        cp = RNG.normal(size=(n, h))
+        wx = RNG.normal(size=(d, 4 * h))
+        wh = RNG.normal(size=(h, 4 * h))
+        b = RNG.normal(size=4 * h)
+        dh = RNG.normal(size=(n, h))
+        dc = RNG.normal(size=(n, h))
+
+        def loss():
+            hn, cn, _ = T.lstm_cell_forward(x, hp, cp, wx, wh, b)
+            return float((hn * dh).sum() + (cn * dc).sum())
+
+        _, _, cache = T.lstm_cell_forward(x, hp, cp, wx, wh, b)
+        dx, dhp, dcp, dwx, dwh, db = T.lstm_cell_backward(dh, dc, cache)
+        assert np.allclose(dx, num_grad(loss, x), atol=1e-5)
+        assert np.allclose(dhp, num_grad(loss, hp), atol=1e-5)
+        assert np.allclose(dcp, num_grad(loss, cp), atol=1e-5)
+        assert np.allclose(dwx, num_grad(loss, wx), atol=1e-5)
+        assert np.allclose(dwh, num_grad(loss, wh), atol=1e-5)
+        assert np.allclose(db, num_grad(loss, b), atol=1e-5)
+
+    def test_state_shapes(self):
+        hn, cn, _ = T.lstm_cell_forward(
+            np.zeros((2, 3)), np.zeros((2, 4)), np.zeros((2, 4)),
+            np.zeros((3, 16)), np.zeros((4, 16)), np.zeros(16),
+        )
+        assert hn.shape == (2, 4) and cn.shape == (2, 4)
+
+
+class TestSGD:
+    def test_update(self):
+        p = {"w": np.array([1.0, 2.0])}
+        T.sgd_update(p, {"w": np.array([0.5, -0.5])}, lr=0.1)
+        assert np.allclose(p["w"], [0.95, 2.05])
+
+    def test_missing_grad(self):
+        with pytest.raises(WorkloadError):
+            T.sgd_update({"w": np.zeros(1)}, {}, lr=0.1)
+
+    def test_bad_lr(self):
+        with pytest.raises(WorkloadError):
+            T.sgd_update({}, {}, lr=0.0)

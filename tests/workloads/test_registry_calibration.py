@@ -1,0 +1,122 @@
+"""Tests for the workload registry and the calibrated profile table."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace import total_accesses
+from repro.units import GB, MiB
+from repro.workloads.calibration import (
+    APPLICATIONS,
+    MINI_BENCHMARKS,
+    SUITES,
+    all_profiles,
+    calibrated_profile,
+)
+from repro.workloads.registry import (
+    get_profile,
+    get_workload,
+    list_workloads,
+    suite_of,
+)
+
+
+class TestRoster:
+    def test_twenty_five_applications(self):
+        assert len(APPLICATIONS) == 25
+
+    def test_two_mini_benchmarks(self):
+        assert MINI_BENCHMARKS == ("Bandit", "Stream")
+
+    def test_suite_sizes_match_table1(self):
+        sizes = {s: len(m) for s, m in SUITES.items()}
+        assert sizes == {
+            "GeminiGraph": 5,
+            "PowerGraph": 3,
+            "CNTK": 4,
+            "PARSEC": 4,
+            "HPC": 3,
+            "SPEC CPU2017": 6,
+        }
+
+    def test_list_workloads(self):
+        assert len(list_workloads()) == 27
+        assert len(list_workloads(include_mini=False)) == 25
+
+    def test_suite_of(self):
+        assert suite_of("G-PR") == "GeminiGraph"
+        assert suite_of("Stream") == "mini-benchmarks"
+        with pytest.raises(WorkloadError):
+            suite_of("nope")
+
+
+class TestProfiles:
+    def test_every_workload_has_profile(self):
+        for name in list_workloads():
+            prof = get_profile(name)
+            assert prof.name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            calibrated_profile("nope")
+
+    def test_profiles_are_valid(self):
+        # WorkloadProfile.__post_init__ validates; this asserts weights,
+        # and spot-checks the headline calibration properties.
+        profiles = all_profiles()
+        assert len(profiles) == 27
+        for prof in profiles.values():
+            assert abs(sum(r.weight for r in prof.regions) - 1.0) < 1e-6
+
+    def test_amg_has_three_phases_two_serial(self):
+        prof = get_profile("AMG2006")
+        assert len(prof.regions) == 3
+        assert sum(1 for r in prof.regions if r.serial) == 2
+
+    def test_atis_sync_region(self):
+        prof = get_profile("ATIS")
+        assert prof.sync_region_name == "kmp_hyper_barrier_release"
+        assert prof.scaling.sync_cpi_coeff > 0
+
+    def test_psssp_work_inflation(self):
+        prof = get_profile("P-SSSP")
+        assert prof.scaling.work_factor(8) > 2.0
+
+    def test_bandit_tiny_footprint(self):
+        prof = get_profile("Bandit")
+        assert prof.regions[0].footprint_bytes < 1 * MiB
+
+    def test_stream_full_regularity(self):
+        prof = get_profile("Stream")
+        assert prof.regions[0].regularity == 1.0
+        assert prof.regions[0].mrc.miss_ratio(20 * MiB) == 1.0
+
+    def test_paper_regions_present(self):
+        # The source regions the paper names (Figs 9/10, Table IV).
+        assert get_profile("P-PR").regions[0].region.label == "pagerank.c:63-66"
+        assert get_profile("G-PR").regions[0].region.label == "pagerank.c:63-70"
+        assert get_profile("fotonik3d").regions[0].region.name == "UUS"
+
+
+class TestFactories:
+    def test_every_workload_instantiates_and_traces(self):
+        for name in list_workloads():
+            kernel = get_workload(name)
+            assert kernel.name == name
+            n = total_accesses(kernel.trace(max_accesses=300))
+            assert 0 < n <= 300, name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_kwargs_forwarded(self):
+        w = get_workload("blackscholes", n_options=128)
+        assert w.n_options == 128
+
+    @pytest.mark.slow
+    def test_every_workload_runs(self):
+        """Every kernel's run() completes (scaled-down defaults)."""
+        for name in list_workloads():
+            kernel = get_workload(name)
+            result = kernel.run()
+            assert result is not None, name
