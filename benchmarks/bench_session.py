@@ -1,0 +1,74 @@
+"""Session substrate: cold vs shared-cache vs parallel Fig 5 sweep.
+
+Quantifies what the unified Session API buys over the seed's
+free-standing ``run_*`` functions, which rebuilt engine + solo cache
+per call:
+
+* **cold** — a fresh session sweeping all 625 pairs (solo references
+  and co-runs all computed from scratch; this is the seed's cost);
+* **shared-cache** — the same sweep re-executed on the warm session
+  (every solo and co-run is a cache hit, only jitter + normalization
+  remain);
+* **parallel** — a fresh session fanning the 25 matrix rows out over a
+  process pool (wall-time depends on host cores; results are asserted
+  bit-identical to serial either way).
+"""
+
+import os
+import time
+
+from repro.session import ParallelExecutor, Session, get_runner
+
+
+def _sweep_times(config):
+    runner = get_runner("fig5")
+
+    cold_session = Session(config)
+    t0 = time.perf_counter()
+    cold = cold_session.run("fig5").result
+    cold_s = time.perf_counter() - t0
+
+    # Re-execute the sweep on the warm session, bypassing the
+    # artifact-level record memo so the solo/co-run caches are what is
+    # measured.
+    t0 = time.perf_counter()
+    shared = runner.execute(cold_session)
+    shared_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = Session(config, executor=ParallelExecutor()).run("fig5").result
+    parallel_s = time.perf_counter() - t0
+
+    return cold, shared, parallel, cold_s, shared_s, parallel_s
+
+
+def test_session_sweep_cold_vs_shared_vs_parallel(benchmark, config, artifacts):
+    cold, shared, parallel, cold_s, shared_s, parallel_s = _sweep_times(config)
+
+    # Correctness first: all three modes produce the same 625 cells.
+    assert len(cold.cells) == 625
+    assert shared.cells == cold.cells
+    assert parallel.cells == cold.cells
+
+    # The shared-cache path must beat the seed's cold path clearly.
+    assert shared_s < cold_s / 2, (shared_s, cold_s)
+
+    artifacts(
+        "session_sweep",
+        "\n".join(
+            [
+                "Fig 5 sweep wall-time through the Session substrate",
+                f"host CPUs            : {os.cpu_count()}",
+                f"cold (seed cost)     : {cold_s * 1e3:8.1f} ms",
+                f"shared-cache         : {shared_s * 1e3:8.1f} ms"
+                f"  ({cold_s / shared_s:6.1f}x vs cold)",
+                f"parallel (pool)      : {parallel_s * 1e3:8.1f} ms"
+                f"  ({cold_s / parallel_s:6.2f}x vs cold)",
+            ]
+        ),
+    )
+
+    # Track the cold sweep in the perf trajectory.
+    benchmark.pedantic(
+        lambda: Session(config).run("fig5"), rounds=1, iterations=1
+    )

@@ -1,19 +1,24 @@
 #!/usr/bin/env python
 """Quickstart: characterize two applications and consolidate them.
 
-Reproduces the paper's core workflow in ~30 lines:
+Reproduces the paper's core workflow on the Session API:
 
 1. pick applications from the Table I roster;
-2. characterize them solo (runtime, bandwidth, scalability class);
-3. co-run them 4+4 cores with the background looping;
-4. classify the pair (Harmony / Victim-Offender / Both-Victim) and
-   attribute the victim's slowdown to its hot code region.
+2. open a :class:`repro.Session` — the shared substrate holding the
+   machine spec, the cross-experiment solo/co-run caches and the
+   seeded jitter model;
+3. characterize the pair solo (runtime, bandwidth, scalability class);
+4. run the consolidation sweep for the pair (``session.run("fig5")``)
+   and classify it (Harmony / Victim-Offender / Both-Victim);
+5. attribute the victim's slowdown to its hot code region — the
+   co-run comes straight from the session cache, nothing re-runs;
+6. keep the record: every artifact returns a RunRecord with
+   provenance metadata and a JSON round-trip.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, IntervalEngine, get_profile, list_workloads
-from repro.core import classify_pair, run_scalability
+from repro import ExperimentConfig, Session, get_profile, list_workloads
 from repro.tools import VtuneProfiler
 from repro.units import GB
 
@@ -23,52 +28,58 @@ BACKGROUND = "fotonik3d"  # SPEC CPU2017 FDTD — the paper's chief offender
 
 def main() -> None:
     print(f"{len(list_workloads())} workloads available:", ", ".join(list_workloads()[:8]), "...")
-    engine = IntervalEngine()
-    fg, bg = get_profile(FOREGROUND), get_profile(BACKGROUND)
+    session = Session(
+        ExperimentConfig(workloads=(FOREGROUND, BACKGROUND), jitter=0.0)
+    )
 
     # --- solo characterization (Figs 2-3 style) ---
-    print(f"\n== solo characterization (4 threads each) ==")
-    solos = {}
-    for prof in (fg, bg):
-        solo = engine.solo_run(prof, threads=4)
-        solos[prof.name] = solo
+    print("\n== solo characterization (4 threads each) ==")
+    for name in (FOREGROUND, BACKGROUND):
+        solo = session.solo(name, threads=4)
         t = solo.metrics.total
         print(
-            f"{prof.name:>12}: runtime {solo.runtime_s:6.1f}s   "
+            f"{name:>12}: runtime {solo.runtime_s:6.1f}s   "
             f"bandwidth {solo.metrics.avg_bandwidth_bytes / GB:5.1f} GB/s   "
             f"CPI {t.cpi:.2f}   LLC MPKI {t.llc_mpki:.1f}"
         )
-    scal = run_scalability(
-        ExperimentConfig(workloads=(FOREGROUND, BACKGROUND), jitter=0.0)
-    )
+    scal = session.run("fig2").result
     for name in (FOREGROUND, BACKGROUND):
         print(f"{name:>12}: 8-thread speedup {scal.speedup(name, 8):.1f}x "
               f"-> {scal.classification(name).value} scalability")
 
     # --- consolidation (Fig 5 protocol) ---
     print(f"\n== co-running {FOREGROUND} (fg) with {BACKGROUND} (bg looping) ==")
-    both = {}
-    for a, b in ((fg, bg), (bg, fg)):
-        res = engine.co_run(a, b, fg_solo_runtime_s=solos[a.name].runtime_s)
-        both[a.name] = res
-        print(f"{a.name:>12}: normalized execution time {res.normalized_time:.2f}x")
-    verdict = classify_pair(
-        fg.name, bg.name,
-        both[fg.name].normalized_time, both[bg.name].normalized_time,
-    )
+    record = session.run("fig5")
+    matrix = record.result
+    for fg, bg in ((FOREGROUND, BACKGROUND), (BACKGROUND, FOREGROUND)):
+        print(f"{fg:>12}: normalized execution time {matrix.value(fg, bg):.2f}x")
+    verdict = matrix.classify(FOREGROUND, BACKGROUND)
     print(f"relationship: {verdict.relationship.value}"
           + (f"   victim={verdict.victim} offender={verdict.offender}"
              if verdict.victim else ""))
 
     # --- provenance (Fig 7 / Table IV style) ---
     print(f"\n== where does {FOREGROUND} lose its cycles? ==")
+    # The fig5 sweep already ran this co-run; the session serves it
+    # from the shared cache instead of re-simulating.
+    co = session.co_run(FOREGROUND, BACKGROUND, threads=4)
+    solo = session.solo(FOREGROUND, threads=4)
     vtune = VtuneProfiler()
-    print(vtune.report(both[fg.name].fg))
-    region = fg.dominant_region.region.name
-    cmp = vtune.compare(solos[fg.name].metrics, both[fg.name].fg, region)
+    print(vtune.report(co.fg))
+    region = get_profile(FOREGROUND).dominant_region.region.name
+    cmp = vtune.compare(solo.metrics, co.fg, region)
     print(
         f"region {region!r}: CPI x{cmp.cpi_inflation:.2f}, "
         f"LLC MPKI x{cmp.mpki_inflation:.2f}, LL x{cmp.ll_inflation:.2f} vs solo"
+    )
+
+    # --- provenance record ---
+    prov = record.provenance
+    print(
+        f"\nrecord: artifact={record.artifact} "
+        f"spec={prov['spec_fingerprint']} executor={prov['executor']} "
+        f"solo-cache hits={session.stats.solo_hits} "
+        f"(JSON round-trip: {len(record.to_json())} bytes)"
     )
 
 

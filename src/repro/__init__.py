@@ -15,17 +15,30 @@ Interference" (Xu, Song, Mao — arXiv:2303.15763), built as a library:
 * :mod:`repro.engine` — the interval engine that co-executes profiles
   under LLC sharing and memory-bus contention;
 * :mod:`repro.tools` — PCM-memory and VTune analogues;
-* :mod:`repro.core` — the paper's experiments: one runner per figure
-  and table.
+* :mod:`repro.core` — the paper's experiments: one registered runner
+  per figure and table;
+* :mod:`repro.session` — the unified experiment substrate: a
+  :class:`Session` owns the machine spec, cross-experiment solo and
+  co-run caches, the seeded jitter model, and a pluggable executor
+  that fans independent sweep cells out over a process pool.
 
 Quick start::
 
-    from repro import ExperimentConfig, run_consolidation
+    from repro import ExperimentConfig, Session
 
     config = ExperimentConfig(workloads=("G-CC", "fotonik3d", "swaptions"))
-    matrix = run_consolidation(config)
+    session = Session(config)
+    record = session.run("fig5")            # the consolidation sweep
+    matrix = record.result
     print(matrix.render_fig5())
     print(matrix.classify("G-CC", "fotonik3d").relationship)
+    session.run("table3")                   # solo/co-run caches shared
+    record.to_json()                        # provenance + payload
+
+Scale up with ``Session(config, executor="parallel")`` (bit-identical
+to serial), run every artifact with ``session.run_all()``, or keep
+using the historical ``run_*`` wrappers — they delegate to the same
+registry.
 """
 
 from repro.core import (
@@ -44,6 +57,16 @@ from repro.core import (
 )
 from repro.engine import EngineConfig, IntervalEngine
 from repro.machine import Machine, MachineSpec, xeon_e5_4650
+from repro.session import (
+    ParallelExecutor,
+    RunRecord,
+    Runner,
+    SerialExecutor,
+    Session,
+    get_runner,
+    register_runner,
+    runner_names,
+)
 from repro.trace import MissRatioCurve, TraceProfiler
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.registry import (
@@ -53,12 +76,17 @@ from repro.workloads.registry import (
     list_workloads,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
     "ExperimentConfig",
     "IntervalEngine",
+    "ParallelExecutor",
+    "RunRecord",
+    "Runner",
+    "SerialExecutor",
+    "Session",
     "Machine",
     "MachineSpec",
     "MissRatioCurve",
@@ -69,8 +97,10 @@ __all__ = [
     "classify_pair",
     "get_all_profiles",
     "get_profile",
+    "get_runner",
     "get_workload",
     "list_workloads",
+    "register_runner",
     "run_bandwidth_sweep",
     "run_consolidation",
     "run_gemini_vs_offenders",
@@ -80,5 +110,6 @@ __all__ = [
     "run_prefetch_sensitivity",
     "run_scalability",
     "run_table4",
+    "runner_names",
     "xeon_e5_4650",
 ]

@@ -2,13 +2,18 @@
 
 Usage::
 
-    repro-interference list
-    repro-interference fig2 [--workloads G-PR,G-CC] [--csv]
-    repro-interference fig5 --workloads G-CC,fotonik3d,swaptions
-    repro-interference table4
+    repro list
+    repro fig2 [--workloads G-PR,G-CC] [--csv]
+    repro fig5 --workloads G-CC,fotonik3d,swaptions --parallel
+    repro table4
 
-Experiment ids match DESIGN.md's per-experiment index: table1, fig2,
-table2, fig3, fig4, fig5, table3, fig6, fig7, fig8, table4.
+Experiment ids are artifact names in the runner registry
+(:mod:`repro.session.registry`): table1, fig2, table2, fig3, fig4,
+fig5, table3, fig6, fig7, fig8, table4, plus the extension studies
+(solo, insights, predict, efficiency, allocation).  Every invocation
+builds one :class:`~repro.session.session.Session`, so ``--parallel``
+fans the independent sweep cells out over a process pool with
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -16,186 +21,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import (
-    ExperimentConfig,
-    run_bandwidth_sweep,
-    run_consolidation,
-    run_gemini_vs_offenders,
-    run_gemini_vs_stream,
-    run_minibench,
-    run_pair_bandwidth,
-    run_prefetch_sensitivity,
-    run_scalability,
-    run_table4,
-)
-from repro.core.report import ascii_table
+from repro.core import ExperimentConfig
+from repro.errors import ReproError
+from repro.session import ParallelExecutor, Session, get_runner, runner_names
 from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
-from repro.workloads.registry import list_workloads, suite_of
-
-
-def _cmd_table1(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    rows = [[suite_of(n), n] for n in list_workloads()]
-    return ascii_table(["suite", "application"], rows,
-                       title="Table I: applications chosen for each suite")
-
-
-def _cmd_fig2(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_scalability(config).render_fig2()
-
-
-def _cmd_table2(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_scalability(config).render_table2()
-
-
-def _cmd_fig3(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_bandwidth_sweep(config).render_fig3()
-
-
-def _cmd_fig4(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_prefetch_sensitivity(config).render_fig4()
-
-
-def _cmd_fig5(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    matrix = run_consolidation(config)
-    if args.csv:
-        return matrix.to_csv()
-    out = [matrix.render_fig5()]
-    counts = matrix.classification_counts()
-    out.append("pair relationships: " + ", ".join(f"{k.value}={v}" for k, v in counts.items()))
-    out.append("friendly backgrounds (<=1.1x to all): "
-               + ", ".join(matrix.friendly_backgrounds()))
-    return "\n".join(out)
-
-
-def _cmd_table3(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_pair_bandwidth(config).render_table3()
-
-
-def _cmd_fig6(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    res = run_minibench(config)
-    out = [res.render_fig6()]
-    for bg in ("Bandit", "Stream"):
-        out.append(
-            f"mean normalized speedup vs {bg}: {res.overall_mean(bg):.2f} "
-            f"(Gemini {res.suite_mean('GeminiGraph', bg):.2f}, "
-            f"PowerGraph {res.suite_mean('PowerGraph', bg):.2f})"
-        )
-    return "\n".join(out)
-
-
-def _cmd_fig7(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_gemini_vs_stream(config).render(
-        "Fig 7: Gemini applications co-running with Stream"
-    )
-
-
-def _cmd_fig8(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_gemini_vs_offenders(config).render(
-        "Fig 8: Gemini applications co-running with offenders"
-    )
-
-
-def _cmd_table4(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    return run_table4(config).render(
-        "Table IV: profiling results of P-PR and fotonik3d"
-    )
-
-
-def _cmd_solo(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    """Full solo characterization card for each requested workload."""
-    from repro.core import SoloCache
-    from repro.core.scalability import classify_speedup
-    from repro.tools import VtuneProfiler
-    from repro.units import GB
-
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    vtune = VtuneProfiler()
-    cards = []
-    for app in config.workloads:
-        solo = cache.get(app, threads=config.threads)
-        t1 = cache.runtime(app, threads=1)
-        t8 = cache.runtime(app, threads=8)
-        tot = solo.metrics.total
-        cards.append("\n".join([
-            f"== {app} ({suite_of(app)}) ==",
-            f"runtime @{config.threads}T : {solo.runtime_s:.1f} s",
-            f"bandwidth       : {solo.metrics.avg_bandwidth_bytes / GB:.1f} GB/s",
-            f"CPI / L2_PCP    : {tot.cpi:.2f} / {tot.l2_pcp:.1%}",
-            f"LLC MPKI / LL   : {tot.llc_mpki:.1f} / {tot.ll:.1f}",
-            f"8T speedup      : {t1 / t8:.1f}x -> {classify_speedup(t1 / t8).value}",
-            vtune.report(solo.metrics),
-        ]))
-    return "\n\n".join(cards)
-
-
-def _cmd_insights(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    from repro.core import MatrixInsights
-
-    return MatrixInsights.derive(run_consolidation(config)).render()
-
-
-def _cmd_predict(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    from repro.core import BubbleUpPredictor
-
-    predictor = BubbleUpPredictor(config=config).fit()
-    truth = run_consolidation(config)
-    scores = predictor.evaluate(truth)
-    lines = ["Bubble-Up predictor vs engine ground truth:"]
-    lines += [f"  {k}: {v:.3f}" for k, v in scores.items()]
-    lines.append("pressure scores: " + ", ".join(
-        f"{a}={p:.2f}" for a, p in sorted(
-            predictor.pressure.items(), key=lambda kv: -kv[1]
-        )
-    ))
-    return "\n".join(lines)
-
-
-def _cmd_allocation(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    from repro.core import run_allocation_sweep
-
-    if len(config.workloads) < 2:
-        return "need exactly two workloads (--workloads fg,bg)"
-    fg, bg = config.workloads[0], config.workloads[1]
-    sweep = run_allocation_sweep(fg, bg, config)
-    best = sweep.best_split()
-    return (
-        sweep.render()
-        + f"best split: {best.fg_threads}+{best.bg_threads} "
-        f"(weighted speedup {best.weighted_speedup:.2f})"
-    )
-
-
-def _cmd_efficiency(config: ExperimentConfig, args: argparse.Namespace) -> str:
-    from repro.core import run_efficiency
-
-    apps = config.workloads
-    pairs = tuple(
-        (apps[i], apps[i + 1]) for i in range(0, len(apps) - 1, 2)
-    )
-    if not pairs:
-        return "need at least two workloads (--workloads a,b)"
-    return run_efficiency(pairs, config).render()
-
-
-_COMMANDS = {
-    "table1": _cmd_table1,
-    "fig2": _cmd_fig2,
-    "table2": _cmd_table2,
-    "fig3": _cmd_fig3,
-    "fig4": _cmd_fig4,
-    "fig5": _cmd_fig5,
-    "table3": _cmd_table3,
-    "fig6": _cmd_fig6,
-    "fig7": _cmd_fig7,
-    "fig8": _cmd_fig8,
-    "table4": _cmd_table4,
-    "solo": _cmd_solo,
-    "insights": _cmd_insights,
-    "predict": _cmd_predict,
-    "efficiency": _cmd_efficiency,
-    "allocation": _cmd_allocation,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,8 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["list"],
-        help="experiment id (DESIGN.md index) or 'list'",
+        choices=runner_names() + ["list"],
+        help="artifact name from the runner registry, or 'list'",
     )
     parser.add_argument(
         "--workloads",
@@ -221,28 +50,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="jitter seed")
     parser.add_argument("--csv", action="store_true", help="CSV output where supported")
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan independent sweep cells out over a process pool",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --parallel (default: CPU count)",
+    )
     return parser
+
+
+def _list_text() -> str:
+    lines = ["experiments:"]
+    for name in runner_names():
+        runner = get_runner(name)
+        lines.append(f"  {name:<12} {runner.title}")
+    lines.append("applications: " + ", ".join(APPLICATIONS))
+    lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        print("experiments:", ", ".join(sorted(_COMMANDS)))
-        print("applications:", ", ".join(APPLICATIONS))
-        print("mini-benchmarks:", ", ".join(MINI_BENCHMARKS))
+        print(_list_text())
         return 0
     if args.workloads:
         names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
     else:
         names = APPLICATIONS
-    config = ExperimentConfig(
-        threads=args.threads,
-        repetitions=args.repetitions,
-        seed=args.seed,
-        workloads=names,
-    )
-    print(_COMMANDS[args.experiment](config, args))
+    try:
+        config = ExperimentConfig(
+            threads=args.threads,
+            repetitions=args.repetitions,
+            seed=args.seed,
+            workloads=names,
+        )
+        executor = ParallelExecutor(args.workers) if args.parallel else None
+        session = Session(config, executor=executor)
+        runner = get_runner(args.experiment)
+        record = session.run(args.experiment)
+        print(runner.render(record.result, csv=args.csv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

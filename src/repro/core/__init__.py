@@ -1,23 +1,28 @@
 """The paper's contribution: the interference characterization harness.
 
-One runner per paper artifact:
+One registered :class:`~repro.session.base.Runner` per paper artifact,
+all executing through the shared :class:`~repro.session.session.Session`
+substrate (``Session(config).run("fig5")``, ``session.run_all()``):
 
-========  ==========================================  =============================
-artifact  experiment                                  runner
-========  ==========================================  =============================
-Table I   application roster                          :func:`repro.workloads.registry.list_workloads`
-Fig 2     thread scalability curves                   :func:`run_scalability`
-Table II  Low/Medium/High scalability classes         :meth:`ScalabilityResult.table2`
-Fig 3     solo bandwidth at 1/4/8 threads             :func:`run_bandwidth_sweep`
-Fig 4     prefetcher sensitivity (MSR 0x1A4)          :func:`run_prefetch_sensitivity`
-Fig 5     625-pair consolidation heat map             :func:`run_consolidation`
+========  ==========================================  ============
+artifact  experiment                                  registry id
+========  ==========================================  ============
+Table I   application roster                          ``table1``
+Fig 2     thread scalability curves                   ``fig2``
+Table II  Low/Medium/High scalability classes         ``table2``
+Fig 3     solo bandwidth at 1/4/8 threads             ``fig3``
+Fig 4     prefetcher sensitivity (MSR 0x1A4)          ``fig4``
+Fig 5     625-pair consolidation heat map             ``fig5``
 —         Harmony / Victim-Offender / Both-Victim     :func:`classify_pair`
-Table III problematic-pair bandwidth                  :func:`run_pair_bandwidth`
-Fig 6     co-run with Bandit / STREAM                 :func:`run_minibench`
-Fig 7     Gemini metrics under STREAM                 :func:`run_gemini_vs_stream`
-Fig 8     Gemini metrics under real offenders         :func:`run_gemini_vs_offenders`
-Table IV  region-level profiles (gather / UUS)        :func:`run_table4`
-========  ==========================================  =============================
+Table III problematic-pair bandwidth                  ``table3``
+Fig 6     co-run with Bandit / STREAM                 ``fig6``
+Fig 7     Gemini metrics under STREAM                 ``fig7``
+Fig 8     Gemini metrics under real offenders         ``fig8``
+Table IV  region-level profiles (gather / UUS)        ``table4``
+========  ==========================================  ============
+
+The historical ``run_*`` functions remain as thin wrappers delegating
+to the registry, so existing callers keep working unchanged.
 """
 
 from repro.core.bandwidth_sweep import (
@@ -43,9 +48,11 @@ from repro.core.insights import AppRoleScores, MatrixInsights
 from repro.core.predictor import (
     DEFAULT_LEVELS,
     BubbleUpPredictor,
+    PredictionReport,
     SensitivityCurve,
     bubble_profile,
 )
+from repro.core import roster  # noqa: F401  (registers table1/solo runners)
 from repro.core.minibench import (
     MINI_BENCH_BACKGROUNDS,
     MiniBenchResult,
@@ -111,6 +118,7 @@ __all__ = [
     "PairBandwidthRow",
     "PairClass",
     "PairVerdict",
+    "PredictionReport",
     "PrefetchResult",
     "ProvenanceResult",
     "SENSITIVE_THRESHOLD",

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
 from repro.errors import ExperimentError
-from repro.workloads.registry import get_profile
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 
 
 @dataclass(frozen=True)
@@ -72,38 +73,58 @@ class AllocationSweep:
         )
 
 
+@register_runner(
+    "allocation",
+    title="asymmetric core-allocation sweep (extension)",
+    artifact=False,
+    order=140,
+)
+class AllocationSweepRunner(Runner):
+    """Core-split sweep through the session substrate; the per-split
+    solo references land in the shared cache."""
+
+    def execute(self, session, *, fg: str | None = None, bg: str | None = None) -> AllocationSweep:
+        config = session.config
+        if fg is None or bg is None:
+            if len(config.workloads) < 2:
+                raise ExperimentError("need exactly two workloads (--workloads fg,bg)")
+            fg = fg if fg is not None else config.workloads[0]
+            bg = bg if bg is not None else config.workloads[1]
+        n_cores = config.spec.n_cores
+        sweep = AllocationSweep(fg=fg, bg=bg)
+        fg_ref_rate = session.solo_rate(fg, threads=4)
+        bg_ref_rate = session.solo_rate(bg, threads=4)
+        for fg_t in range(1, n_cores):
+            bg_t = n_cores - fg_t
+            res = session.co_run(fg, bg, threads=fg_t, bg_threads=bg_t)
+            fg_rate = res.fg.total.instructions / res.fg.runtime_s
+            bg_rate = res.bg.total.instructions / res.fg.runtime_s
+            sweep.points.append(
+                AllocationPoint(
+                    fg_threads=fg_t,
+                    bg_threads=bg_t,
+                    fg_slowdown=res.normalized_time,
+                    bg_relative_rate=res.bg_relative_rate,
+                    weighted_speedup=fg_rate / fg_ref_rate + bg_rate / bg_ref_rate,
+                )
+            )
+        return sweep
+
+    def render(self, result: AllocationSweep, **_) -> str:
+        best = result.best_split()
+        return (
+            result.render()
+            + f"best split: {best.fg_threads}+{best.bg_threads} "
+            f"(weighted speedup {best.weighted_speedup:.2f})"
+        )
+
+
 def run_allocation_sweep(
     fg: str,
     bg: str,
     config: ExperimentConfig | None = None,
 ) -> AllocationSweep:
-    """Sweep all fg+bg core splits of the machine for one pair."""
-    config = config if config is not None else ExperimentConfig()
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    n_cores = config.spec.n_cores
-    fg_prof, bg_prof = get_profile(fg), get_profile(bg)
-    sweep = AllocationSweep(fg=fg, bg=bg)
-    fg_ref_rate = cache.instruction_rate(fg, threads=4)
-    bg_ref_rate = cache.instruction_rate(bg, threads=4)
-    for fg_t in range(1, n_cores):
-        bg_t = n_cores - fg_t
-        fg_solo = cache.runtime(fg, threads=fg_t)
-        res = engine.co_run(
-            fg_prof, bg_prof,
-            threads=fg_t, bg_threads=bg_t,
-            fg_solo_runtime_s=fg_solo,
-            bg_solo_rate=cache.instruction_rate(bg, threads=bg_t),
-        )
-        fg_rate = res.fg.total.instructions / res.fg.runtime_s
-        bg_rate = res.bg.total.instructions / res.fg.runtime_s
-        sweep.points.append(
-            AllocationPoint(
-                fg_threads=fg_t,
-                bg_threads=bg_t,
-                fg_slowdown=res.normalized_time,
-                bg_relative_rate=res.bg_relative_rate,
-                weighted_speedup=fg_rate / fg_ref_rate + bg_rate / bg_ref_rate,
-            )
-        )
-    return sweep
+    """Sweep all fg+bg core splits (thin wrapper over ``Session.run``)."""
+    from repro.session import Session
+
+    return Session(config).run("allocation", fg=fg, bg=bg).result

@@ -8,8 +8,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.tools.pcm import PcmMemoryMonitor
 from repro.units import MB
 from repro.workloads.calibration import SUITES
@@ -49,26 +51,44 @@ class BandwidthResult:
         )
 
 
+@register_runner("fig3", title="solo memory bandwidth at 1/4/8 threads", order=30)
+class BandwidthSweepRunner(Runner):
+    """Fig 3 through the session substrate (solo runs shared)."""
+
+    def execute(
+        self,
+        session,
+        *,
+        threads: tuple[int, ...] = FIG3_THREADS,
+        pcm_granularity_s: float = 10.0,
+    ) -> BandwidthResult:
+        monitor = PcmMemoryMonitor(granularity_s=pcm_granularity_s)
+        result = BandwidthResult()
+        for app in session.config.workloads:
+            per_threads: dict[int, float] = {}
+            for t in threads:
+                solo = session.solo(app, threads=t)
+                report = monitor.observe(solo.timeline)
+                bw = report.average_bytes_per_s(app)
+                if bw == 0.0:  # run shorter than one PCM window: use exact
+                    bw = solo.metrics.avg_bandwidth_bytes
+                per_threads[t] = bw
+            result.bandwidth[app] = per_threads
+        return result
+
+    def render(self, result: BandwidthResult, **_) -> str:
+        return result.render_fig3()
+
+
 def run_bandwidth_sweep(
     config: ExperimentConfig | None = None,
     *,
     threads: tuple[int, ...] = FIG3_THREADS,
     pcm_granularity_s: float = 10.0,
 ) -> BandwidthResult:
-    """Run Fig 3 (PCM-sampled solo bandwidth)."""
-    config = config if config is not None else ExperimentConfig()
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    monitor = PcmMemoryMonitor(granularity_s=pcm_granularity_s)
-    result = BandwidthResult()
-    for app in config.workloads:
-        per_threads: dict[int, float] = {}
-        for t in threads:
-            solo = cache.get(app, threads=t)
-            report = monitor.observe(solo.timeline)
-            bw = report.average_bytes_per_s(app)
-            if bw == 0.0:  # run shorter than one PCM window: use exact
-                bw = solo.metrics.avg_bandwidth_bytes
-            per_threads[t] = bw
-        result.bandwidth[app] = per_threads
-    return result
+    """Run Fig 3 (thin wrapper over ``Session.run("fig3")``)."""
+    from repro.session import Session
+
+    return Session(config).run(
+        "fig3", threads=threads, pcm_granularity_s=pcm_granularity_s
+    ).result

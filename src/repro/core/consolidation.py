@@ -6,16 +6,25 @@ for as long as the foreground runs; the cell value is the foreground's
 execution time normalized to its solo run — exactly Fig 5's heat map.
 The symmetric classification of Section V derives from the matrix:
 pair (A, B)'s two slowdowns are cell (A, B) and cell (B, A).
+
+The sweep runs through the :class:`~repro.session.session.Session`
+substrate: solo references and co-runs are shared with every other
+artifact, measurement jitter is keyed per cell, and the independent
+matrix rows fan out over the session's executor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.classify import PairClass, PairVerdict, classify_pair
-from repro.core.experiment import ExperimentConfig, Jitter, SoloCache
+from repro.core.experiment import ExperimentConfig, Jitter
 from repro.core.report import csv_table, text_heatmap
+from repro.engine import IntervalEngine
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.workloads.registry import get_profile
 
 
@@ -77,31 +86,153 @@ class ConsolidationMatrix:
         return csv_table(headers, rows)
 
 
+def cell_value(
+    config: ExperimentConfig,
+    fg: str,
+    bg: str,
+    *,
+    fg_runtime_s: float,
+    fg_solo_runtime_s: float,
+    threads: int,
+    bg_threads: int,
+) -> float:
+    """One Fig 5 cell: jittered co-run time normalized to the solo run.
+
+    The jitter stream is keyed by the cell coordinates, so the value is
+    identical whether the cell is computed in a serial loop, a worker
+    process, or as part of a different foreground subset.
+    """
+    measured = Jitter.for_key(config, "cell", fg, bg, threads, bg_threads).measure(
+        fg_runtime_s
+    )
+    return measured / fg_solo_runtime_s
+
+
+class _RowTask(NamedTuple):
+    """One matrix row shipped to a worker process (picklable primitives)."""
+
+    config: ExperimentConfig
+    fg: str
+    backgrounds: tuple[str, ...]
+    fg_solo_runtime_s: float
+    bg_solo_rates: dict[str, float]
+
+
+def _consolidation_row(task: _RowTask):
+    """Co-run one foreground's row of cells (runs inside pool workers).
+
+    The engine is rebuilt from the task's spec + engine config and the
+    solo references come pre-resolved from the parent session's cache,
+    so each returned CoRunResult is bit-identical to the serial path's.
+    """
+    config = task.config
+    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
+    fg_prof = get_profile(task.fg)
+    return [
+        (
+            task.fg,
+            bg,
+            engine.co_run(
+                fg_prof,
+                get_profile(bg),
+                threads=config.threads,
+                fg_solo_runtime_s=task.fg_solo_runtime_s,
+                bg_solo_rate=task.bg_solo_rates[bg],
+            ),
+        )
+        for bg in task.backgrounds
+    ]
+
+
+@register_runner("fig5", title="625-pair consolidation heat map", order=50)
+class ConsolidationRunner(Runner):
+    """Fig 5 through the session substrate (subsets allowed)."""
+
+    def execute(
+        self,
+        session,
+        *,
+        foregrounds: tuple[str, ...] | None = None,
+        backgrounds: tuple[str, ...] | None = None,
+    ) -> ConsolidationMatrix:
+        config = session.config
+        fgs = tuple(foregrounds) if foregrounds is not None else config.workloads
+        bgs = tuple(backgrounds) if backgrounds is not None else config.workloads
+        matrix = ConsolidationMatrix(workloads=tuple(dict.fromkeys(fgs + bgs)))
+        threads = config.threads
+        # Solo references always resolve through the shared cache first,
+        # so serial loops and pool workers see the exact same floats.
+        fg_solos = {fg: session.solo_runtime(fg, threads=threads) for fg in fgs}
+        bg_rates = {bg: session.solo_rate(bg, threads=threads) for bg in bgs}
+        if session.executor.parallel and len(fgs) > 1:
+            # Fan out only the cells the session has not co-run yet; the
+            # workers' results are stored back so later artifacts (Table
+            # III, Figs 7-8) reuse them like any serial measurement.
+            missing = {
+                fg: tuple(
+                    bg
+                    for bg in bgs
+                    if session.cached_co_run(fg, bg, threads=threads) is None
+                )
+                for fg in fgs
+            }
+            tasks = [
+                _RowTask(config, fg, missing[fg], fg_solos[fg], bg_rates)
+                for fg in fgs
+                if missing[fg]
+            ]
+            for row in session.executor.map(_consolidation_row, tasks):
+                for fg, bg, res in row:
+                    session.store_co_run(fg, bg, res, threads=threads)
+        for fg in fgs:
+            for bg in bgs:
+                res = session.co_run(fg, bg, threads=threads)
+                matrix.cells[(fg, bg)] = cell_value(
+                    config,
+                    fg,
+                    bg,
+                    fg_runtime_s=res.fg.runtime_s,
+                    fg_solo_runtime_s=fg_solos[fg],
+                    threads=threads,
+                    bg_threads=threads,
+                )
+        return matrix
+
+    def render(self, result: ConsolidationMatrix, *, csv: bool = False, **_) -> str:
+        if csv:
+            return result.to_csv()
+        counts = result.classification_counts()
+        return "\n".join(
+            [
+                result.render_fig5(),
+                "pair relationships: "
+                + ", ".join(f"{k.value}={v}" for k, v in counts.items()),
+                "friendly backgrounds (<=1.1x to all): "
+                + ", ".join(result.friendly_backgrounds()),
+            ]
+        )
+
+    def encode(self, result: ConsolidationMatrix) -> dict:
+        return {
+            "workloads": list(result.workloads),
+            "cells": [[fg, bg, v] for (fg, bg), v in result.cells.items()],
+        }
+
+    def decode(self, payload: dict) -> ConsolidationMatrix:
+        matrix = ConsolidationMatrix(workloads=tuple(payload["workloads"]))
+        matrix.cells = {(fg, bg): v for fg, bg, v in payload["cells"]}
+        return matrix
+
+
 def run_consolidation(
     config: ExperimentConfig | None = None,
     *,
     foregrounds: tuple[str, ...] | None = None,
     backgrounds: tuple[str, ...] | None = None,
 ) -> ConsolidationMatrix:
-    """Run the Fig 5 sweep (subsets allowed for quick looks)."""
-    config = config if config is not None else ExperimentConfig()
-    fgs = foregrounds if foregrounds is not None else config.workloads
-    bgs = backgrounds if backgrounds is not None else config.workloads
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    jitter = Jitter(config)
-    matrix = ConsolidationMatrix(workloads=tuple(dict.fromkeys(fgs + bgs)))
-    profiles = {name: get_profile(name) for name in matrix.workloads}
-    for fg in fgs:
-        fg_solo = cache.runtime(fg, threads=config.threads)
-        for bg in bgs:
-            res = engine.co_run(
-                profiles[fg],
-                profiles[bg],
-                threads=config.threads,
-                fg_solo_runtime_s=fg_solo,
-                bg_solo_rate=cache.instruction_rate(bg, threads=config.threads),
-            )
-            measured = jitter.measure(res.fg.runtime_s)
-            matrix.cells[(fg, bg)] = measured / fg_solo
-    return matrix
+    """Run the Fig 5 sweep (thin wrapper over ``Session.run("fig5")``)."""
+    from repro.session import Session
+
+    return Session(config).run(
+        "fig5", foregrounds=foregrounds, backgrounds=backgrounds
+    ).result

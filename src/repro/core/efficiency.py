@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
+from repro.errors import ExperimentError
 from repro.machine.energy import EnergySpec, energy_of_window
-from repro.workloads.registry import get_profile
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 
 
 @dataclass(frozen=True)
@@ -76,61 +78,86 @@ class EfficiencyResult:
         )
 
 
+@register_runner(
+    "efficiency",
+    title="consolidation energy/throughput trade-off (extension)",
+    artifact=False,
+    order=130,
+)
+class EfficiencyRunner(Runner):
+    """Time-shared vs consolidated comparison through the session."""
+
+    def execute(
+        self,
+        session,
+        *,
+        pairs: tuple[tuple[str, str], ...] | None = None,
+        energy: EnergySpec | None = None,
+    ) -> EfficiencyResult:
+        config = session.config
+        if pairs is None:
+            apps = config.workloads
+            pairs = tuple(
+                (apps[i], apps[i + 1]) for i in range(0, len(apps) - 1, 2)
+            )
+        if not pairs:
+            raise ExperimentError("need at least two workloads (--workloads a,b)")
+        energy = energy if energy is not None else EnergySpec()
+        result = EfficiencyResult()
+        threads = config.threads
+        for a, b in pairs:
+            solo_a = session.solo(a, threads=threads)
+            solo_b = session.solo(b, threads=threads)
+            # Time-shared: A then B, each alone.
+            ts_seconds = solo_a.runtime_s + solo_b.runtime_s
+            ts_energy = energy_of_window(
+                energy,
+                duration_s=ts_seconds,
+                busy_core_seconds=(solo_a.runtime_s + solo_b.runtime_s) * threads,
+                bus_bytes=solo_a.metrics.total.bus_bytes + solo_b.metrics.total.bus_bytes,
+            ).total_j
+
+            # Consolidated: co-run; B's remainder finishes alone after A.
+            co = session.co_run(a, b, threads=threads)
+            overlap = co.fg.runtime_s
+            b_total_instr = solo_b.metrics.total.instructions
+            b_done = min(co.bg.total.instructions, b_total_instr)
+            b_rate_solo = session.solo_rate(b, threads=threads)
+            tail = max(0.0, (b_total_instr - b_done) / b_rate_solo)
+            co_seconds = overlap + tail
+            co_bus_bytes = (
+                co.fg.total.bus_bytes
+                + co.bg.total.bus_bytes * (b_done / max(co.bg.total.instructions, 1.0))
+                + solo_b.metrics.total.bus_bytes * (tail / max(solo_b.runtime_s, 1e-12))
+            )
+            co_energy = energy_of_window(
+                energy,
+                duration_s=co_seconds,
+                busy_core_seconds=overlap * 2 * threads + tail * threads,
+                bus_bytes=co_bus_bytes,
+            ).total_j
+
+            result.rows.append(
+                EfficiencyRow(
+                    app_a=a, app_b=b,
+                    timeshared_seconds=ts_seconds,
+                    consolidated_seconds=co_seconds,
+                    timeshared_joules=ts_energy,
+                    consolidated_joules=co_energy,
+                )
+            )
+        return result
+
+    def render(self, result: EfficiencyResult, **_) -> str:
+        return result.render()
+
+
 def run_efficiency(
     pairs: tuple[tuple[str, str], ...],
     config: ExperimentConfig | None = None,
     energy: EnergySpec | None = None,
 ) -> EfficiencyResult:
-    """Evaluate the consolidation trade-off for the given pairs."""
-    config = config if config is not None else ExperimentConfig()
-    energy = energy if energy is not None else EnergySpec()
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    result = EfficiencyResult()
-    threads = config.threads
-    for a, b in pairs:
-        solo_a = cache.get(a, threads=threads)
-        solo_b = cache.get(b, threads=threads)
-        # Time-shared: A then B, each alone.
-        ts_seconds = solo_a.runtime_s + solo_b.runtime_s
-        ts_energy = energy_of_window(
-            energy,
-            duration_s=ts_seconds,
-            busy_core_seconds=(solo_a.runtime_s + solo_b.runtime_s) * threads,
-            bus_bytes=solo_a.metrics.total.bus_bytes + solo_b.metrics.total.bus_bytes,
-        ).total_j
+    """Evaluate the consolidation trade-off (wrapper over ``Session.run``)."""
+    from repro.session import Session
 
-        # Consolidated: co-run; B's remainder finishes alone after A.
-        co = engine.co_run(
-            get_profile(a), get_profile(b), threads=threads,
-            fg_solo_runtime_s=solo_a.runtime_s,
-            bg_solo_rate=cache.instruction_rate(b, threads=threads),
-        )
-        overlap = co.fg.runtime_s
-        b_total_instr = solo_b.metrics.total.instructions
-        b_done = min(co.bg.total.instructions, b_total_instr)
-        b_rate_solo = cache.instruction_rate(b, threads=threads)
-        tail = max(0.0, (b_total_instr - b_done) / b_rate_solo)
-        co_seconds = overlap + tail
-        co_bus_bytes = (
-            co.fg.total.bus_bytes
-            + co.bg.total.bus_bytes * (b_done / max(co.bg.total.instructions, 1.0))
-            + solo_b.metrics.total.bus_bytes * (tail / max(solo_b.runtime_s, 1e-12))
-        )
-        co_energy = energy_of_window(
-            energy,
-            duration_s=co_seconds,
-            busy_core_seconds=overlap * 2 * threads + tail * threads,
-            bus_bytes=co_bus_bytes,
-        ).total_j
-
-        result.rows.append(
-            EfficiencyRow(
-                app_a=a, app_b=b,
-                timeshared_seconds=ts_seconds,
-                consolidated_seconds=co_seconds,
-                timeshared_joules=ts_energy,
-                consolidated_joules=co_energy,
-            )
-        )
-    return result
+    return Session(config).run("efficiency", pairs=pairs, energy=energy).result

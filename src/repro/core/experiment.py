@@ -12,6 +12,7 @@ them 1250 times.
 from __future__ import annotations
 
 import statistics
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,12 +53,29 @@ class ExperimentConfig:
 
 
 class Jitter:
-    """Seeded multiplicative measurement noise (the 'three runs' model)."""
+    """Seeded multiplicative measurement noise (the 'three runs' model).
 
-    def __init__(self, config: ExperimentConfig) -> None:
-        self._rng = np.random.default_rng(config.seed)
+    Constructed bare, draws come from one sequential stream seeded by
+    ``config.seed``.  Constructed via :meth:`for_key`, the stream is
+    derived from ``(config.seed, key)`` so each named measurement gets
+    its own independent, order-free noise — the property that lets the
+    parallel executor reproduce the serial sweep bit-for-bit.
+    """
+
+    def __init__(self, config: ExperimentConfig, *, key: str | None = None) -> None:
+        if key is None:
+            self._rng = np.random.default_rng(config.seed)
+        else:
+            # crc32 (not hash()) so the derivation is stable across
+            # processes and interpreter runs.
+            self._rng = np.random.default_rng([config.seed, zlib.crc32(key.encode())])
         self._sigma = config.jitter
         self._reps = config.repetitions
+
+    @classmethod
+    def for_key(cls, config: ExperimentConfig, *parts: object) -> "Jitter":
+        """Jitter stream for one named measurement (e.g. a Fig 5 cell)."""
+        return cls(config, key="|".join(str(p) for p in parts))
 
     def measure(self, true_value: float) -> float:
         """Median of ``repetitions`` noisy observations of a value."""

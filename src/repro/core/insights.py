@@ -13,6 +13,8 @@ from statistics import mean
 from repro.core.classify import PairClass
 from repro.core.consolidation import ConsolidationMatrix
 from repro.core.report import ascii_table
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.workloads.registry import suite_of
 
 
@@ -120,3 +122,19 @@ class MatrixInsights:
             + (", ".join(f"{a}+{b}" for a, b in self.avoid_list()) or "(none)"),
         ]
         return "\n".join(lines)
+
+
+@register_runner(
+    "insights",
+    title="derived Section V findings from the Fig 5 matrix",
+    artifact=False,
+    order=110,
+)
+class InsightsRunner(Runner):
+    """Matrix insights: reuses the session's Fig 5 record."""
+
+    def execute(self, session) -> MatrixInsights:
+        return MatrixInsights.derive(session.run("fig5").result)
+
+    def render(self, result: MatrixInsights, **_) -> str:
+        return result.render()

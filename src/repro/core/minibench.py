@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from statistics import mean
 
-from repro.core.consolidation import run_consolidation
 from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.workloads.calibration import SUITES
 from repro.workloads.registry import suite_of
 
@@ -63,17 +64,41 @@ class MiniBenchResult:
         )
 
 
+@register_runner("fig6", title="co-run with Bandit / STREAM", order=70)
+class MiniBenchRunner(Runner):
+    """Fig 6: a consolidation sweep against the two mini-benchmarks.
+
+    Delegates to the Fig 5 runner through the session, so solo
+    references are shared and the cells fan out over the executor.
+    """
+
+    def execute(self, session) -> MiniBenchResult:
+        config = session.config
+        matrix = session.run(
+            "fig5",
+            foregrounds=config.workloads,
+            backgrounds=MINI_BENCH_BACKGROUNDS,
+        ).result
+        result = MiniBenchResult()
+        for bg in MINI_BENCH_BACKGROUNDS:
+            result.speedups[bg] = {
+                fg: 1.0 / matrix.value(fg, bg) for fg in config.workloads
+            }
+        return result
+
+    def render(self, result: MiniBenchResult, **_) -> str:
+        out = [result.render_fig6()]
+        for bg in MINI_BENCH_BACKGROUNDS:
+            out.append(
+                f"mean normalized speedup vs {bg}: {result.overall_mean(bg):.2f} "
+                f"(Gemini {result.suite_mean('GeminiGraph', bg):.2f}, "
+                f"PowerGraph {result.suite_mean('PowerGraph', bg):.2f})"
+            )
+        return "\n".join(out)
+
+
 def run_minibench(config: ExperimentConfig | None = None) -> MiniBenchResult:
-    """Run Fig 6a (Bandit) and Fig 6b (Stream)."""
-    config = config if config is not None else ExperimentConfig()
-    matrix = run_consolidation(
-        config,
-        foregrounds=config.workloads,
-        backgrounds=MINI_BENCH_BACKGROUNDS,
-    )
-    result = MiniBenchResult()
-    for bg in MINI_BENCH_BACKGROUNDS:
-        result.speedups[bg] = {
-            fg: 1.0 / matrix.value(fg, bg) for fg in config.workloads
-        }
-    return result
+    """Run Fig 6 (thin wrapper over ``Session.run("fig6")``)."""
+    from repro.session import Session
+
+    return Session(config).run("fig6").result

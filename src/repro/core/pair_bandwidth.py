@@ -9,9 +9,13 @@ members' solo bandwidths (the bus is the shared bottleneck).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
-from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
+from repro.engine import CoRunResult, IntervalEngine
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.tools.pcm import PcmMemoryMonitor
 from repro.units import GB
 from repro.workloads.registry import get_profile
@@ -72,41 +76,125 @@ class PairBandwidthResult:
         )
 
 
+def _pair_row(
+    co: CoRunResult,
+    *,
+    app_a: str,
+    app_b: str,
+    solo_a_bw: float,
+    solo_b_bw: float,
+    pcm_granularity_s: float,
+) -> PairBandwidthRow:
+    """Reduce one co-run to a Table III row (identical in worker/parent)."""
+    report = PcmMemoryMonitor(granularity_s=pcm_granularity_s).observe(co.timeline)
+    pair_bw = report.average_bytes_per_s(None)
+    if pair_bw == 0.0:  # run shorter than one PCM window
+        pair_bw = co.fg.avg_bandwidth_bytes + co.bg.avg_bandwidth_bytes
+    return PairBandwidthRow(
+        app_a=app_a,
+        app_b=app_b,
+        pair_bandwidth=pair_bw / GB,
+        solo_a=solo_a_bw / GB,
+        solo_b=solo_b_bw / GB,
+    )
+
+
+class _PairTask(NamedTuple):
+    """One Table III pair shipped to a worker process."""
+
+    config: ExperimentConfig
+    app_a: str
+    app_b: str
+    solo_a_runtime_s: float
+    solo_b_rate: float
+
+
+def _pair_corun(task: _PairTask) -> CoRunResult:
+    """Co-run one pair (runs inside pool workers); the parent stores the
+    result into the session cache and reduces it to a row."""
+    config = task.config
+    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
+    return engine.co_run(
+        get_profile(task.app_a),
+        get_profile(task.app_b),
+        threads=config.threads,
+        fg_solo_runtime_s=task.solo_a_runtime_s,
+        bg_solo_rate=task.solo_b_rate,
+    )
+
+
+@register_runner("table3", title="problematic-pair bandwidth", order=60)
+class PairBandwidthRunner(Runner):
+    """Table III through the session substrate.
+
+    The five pair co-runs hit the session's co-run cache when Fig 5
+    already swept them; otherwise independent pairs fan out over the
+    executor.
+    """
+
+    def execute(
+        self,
+        session,
+        *,
+        pairs: tuple[tuple[str, str], ...] = TABLE3_PAIRS,
+        pcm_granularity_s: float = 10.0,
+    ) -> PairBandwidthResult:
+        config = session.config
+        threads = config.threads
+        result = PairBandwidthResult()
+        solos = {
+            app: session.solo(app, threads=threads)
+            for pair in pairs
+            for app in pair
+        }
+        if session.executor.parallel and len(pairs) > 1:
+            # Fan out only pairs the session has not co-run yet (a prior
+            # fig5 sweep usually covered them) and store the workers'
+            # results back into the shared cache.
+            todo = [
+                (a, b)
+                for a, b in dict.fromkeys(pairs)
+                if session.cached_co_run(a, b, threads=threads) is None
+            ]
+            tasks = [
+                _PairTask(
+                    config,
+                    a,
+                    b,
+                    solos[a].runtime_s,
+                    session.solo_rate(b, threads=threads),
+                )
+                for a, b in todo
+            ]
+            for (a, b), co in zip(todo, session.executor.map(_pair_corun, tasks)):
+                session.store_co_run(a, b, co, threads=threads)
+        for a, b in pairs:
+            co = session.co_run(a, b, threads=threads)
+            result.rows.append(
+                _pair_row(
+                    co,
+                    app_a=a,
+                    app_b=b,
+                    solo_a_bw=solos[a].metrics.avg_bandwidth_bytes,
+                    solo_b_bw=solos[b].metrics.avg_bandwidth_bytes,
+                    pcm_granularity_s=pcm_granularity_s,
+                )
+            )
+        return result
+
+    def render(self, result: PairBandwidthResult, **_) -> str:
+        return result.render_table3()
+
+
 def run_pair_bandwidth(
     config: ExperimentConfig | None = None,
     *,
     pairs: tuple[tuple[str, str], ...] = TABLE3_PAIRS,
     pcm_granularity_s: float = 10.0,
 ) -> PairBandwidthResult:
-    """Run Table III."""
-    config = config if config is not None else ExperimentConfig()
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    monitor = PcmMemoryMonitor(granularity_s=pcm_granularity_s)
-    result = PairBandwidthResult()
-    for app_a, app_b in pairs:
-        solo_a = cache.get(app_a, threads=config.threads)
-        solo_b = cache.get(app_b, threads=config.threads)
-        co = engine.co_run(
-            get_profile(app_a),
-            get_profile(app_b),
-            threads=config.threads,
-            fg_solo_runtime_s=solo_a.runtime_s,
-            bg_solo_rate=solo_b.metrics.total.instructions / solo_b.runtime_s,
-        )
-        report = monitor.observe(co.timeline)
-        pair_bw = report.average_bytes_per_s(None)
-        if pair_bw == 0.0:  # run shorter than one PCM window
-            pair_bw = (
-                co.fg.avg_bandwidth_bytes + co.bg.avg_bandwidth_bytes
-            )
-        result.rows.append(
-            PairBandwidthRow(
-                app_a=app_a,
-                app_b=app_b,
-                pair_bandwidth=pair_bw / GB,
-                solo_a=solo_a.metrics.avg_bandwidth_bytes / GB,
-                solo_b=solo_b.metrics.avg_bandwidth_bytes / GB,
-            )
-        )
-    return result
+    """Run Table III (thin wrapper over ``Session.run("table3")``)."""
+    from repro.session import Session
+
+    return Session(config).run(
+        "table3", pairs=pairs, pcm_granularity_s=pcm_granularity_s
+    ).result

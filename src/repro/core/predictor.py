@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.consolidation import ConsolidationMatrix
 from repro.core.experiment import ExperimentConfig, SoloCache
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.trace.mrc import MissRatioCurve
 from repro.units import KiB, MiB
 from repro.workloads.base import CodeRegion, RegionProfile, WorkloadProfile
@@ -116,15 +118,42 @@ class BubbleUpPredictor:
 
     # -- characterization ---------------------------------------------------
 
-    def fit(self, apps: tuple[str, ...] | None = None) -> "BubbleUpPredictor":
-        """Characterize sensitivity and pressure for all apps."""
+    def fit(
+        self,
+        apps: tuple[str, ...] | None = None,
+        *,
+        session=None,
+    ) -> "BubbleUpPredictor":
+        """Characterize sensitivity and pressure for all apps.
+
+        Pass a :class:`~repro.session.session.Session` to measure
+        through its shared engine and solo cache (the baseline solos
+        are then reused from / contributed to other artifacts); without
+        one a private engine + cache is built, as before.
+        """
         apps = apps if apps is not None else self.config.workloads
-        engine = self.config.make_engine()
-        cache = SoloCache(engine)
         threads = self.config.threads
+        if session is not None:
+            engine = session.engine()
+
+            def solo_run(profile: WorkloadProfile) -> "object":
+                return session.solo(profile.name, threads=threads, profile=profile)
+
+            def rate_of(name: str) -> float:
+                return session.solo_rate(name, threads=threads)
+
+        else:
+            engine = self.config.make_engine()
+            cache = SoloCache(engine)
+
+            def solo_run(profile: WorkloadProfile) -> "object":
+                return cache.get(profile.name, threads=threads, profile=profile)
+
+            def rate_of(name: str) -> float:
+                return cache.instruction_rate(name, threads=threads)
 
         def curve_for(profile: WorkloadProfile, name: str) -> SensitivityCurve:
-            solo = engine.solo_run(profile, threads=threads)
+            solo = solo_run(profile)
             slows = []
             for level in self.levels:
                 if level == 0.0:
@@ -140,7 +169,7 @@ class BubbleUpPredictor:
             return SensitivityCurve(app=name, levels=self.levels, slowdowns=tuple(mono))
 
         self._reporter_curve = curve_for(self.reporter, self.reporter.name)
-        rep_solo = engine.solo_run(self.reporter, threads=threads)
+        rep_solo = solo_run(self.reporter)
         for app in apps:
             profile = get_profile(app)
             self.sensitivity[app] = curve_for(profile, app)
@@ -148,7 +177,7 @@ class BubbleUpPredictor:
             res = engine.co_run(
                 self.reporter, profile, threads=threads,
                 fg_solo_runtime_s=rep_solo.runtime_s,
-                bg_solo_rate=cache.instruction_rate(app, threads=threads),
+                bg_solo_rate=rate_of(app),
             )
             self.pressure[app] = self._reporter_curve.pressure_for(res.normalized_time)
         return self
@@ -196,3 +225,44 @@ class BubbleUpPredictor:
             "within_10pct": float((err <= 0.1 * real_a).mean()),
             "rank_correlation": rho,
         }
+
+
+@dataclass
+class PredictionReport:
+    """Bubble-Up evaluation: accuracy scores + per-app pressure."""
+
+    scores: dict[str, float]
+    pressure: dict[str, float]
+
+    def render(self) -> str:
+        lines = ["Bubble-Up predictor vs engine ground truth:"]
+        lines += [f"  {k}: {v:.3f}" for k, v in self.scores.items()]
+        lines.append(
+            "pressure scores: "
+            + ", ".join(
+                f"{a}={p:.2f}"
+                for a, p in sorted(self.pressure.items(), key=lambda kv: -kv[1])
+            )
+        )
+        return "\n".join(lines)
+
+
+@register_runner(
+    "predict",
+    title="Bubble-Up prediction vs engine ground truth (extension)",
+    artifact=False,
+    order=120,
+)
+class PredictorRunner(Runner):
+    """Fit the O(N) predictor and score it against the session's Fig 5."""
+
+    def execute(self, session) -> PredictionReport:
+        predictor = BubbleUpPredictor(config=session.config).fit(session=session)
+        truth = session.run("fig5").result
+        return PredictionReport(
+            scores=predictor.evaluate(truth),
+            pressure=dict(predictor.pressure),
+        )
+
+    def render(self, result: PredictionReport, **_) -> str:
+        return result.render()

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.experiment import ExperimentConfig, Jitter, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.workloads.calibration import SUITES
 from repro.workloads.registry import suite_of
 
@@ -34,7 +36,6 @@ class PrefetchResult:
     def render_fig4(self) -> str:
         headers = ["suite", "app", "T_on/T_off", "sensitive"]
         rows = []
-        order = list(SUITES.items()) + [("mini-benchmarks", ())]
         for suite, members in SUITES.items():
             for app in members:
                 if app in self.ratios:
@@ -49,21 +50,35 @@ class PrefetchResult:
         )
 
 
-def run_prefetch_sensitivity(config: ExperimentConfig | None = None) -> PrefetchResult:
-    """Run Fig 4 (both MSR states, 4 threads)."""
-    config = config if config is not None else ExperimentConfig()
-    if not config.engine_config.prefetchers_on:
-        raise ExperimentError("baseline config must have prefetchers enabled")
-    on_engine = config.make_engine()
-    off_config = replace(config.engine_config, prefetchers_on=False)
-    from repro.engine import IntervalEngine
+@register_runner("fig4", title="prefetcher sensitivity (MSR 0x1A4)", order=40)
+class PrefetchSensitivityRunner(Runner):
+    """Fig 4 through the session substrate: the prefetcher-off engine is
+    a second engine configuration with its own fingerprinted solo cache."""
 
-    off_engine = IntervalEngine(spec=config.spec, config=off_config)
-    on_cache, off_cache = SoloCache(on_engine), SoloCache(off_engine)
-    jitter = Jitter(config)
-    result = PrefetchResult()
-    for app in config.workloads:
-        t_on = jitter.measure(on_cache.runtime(app, threads=config.threads))
-        t_off = jitter.measure(off_cache.runtime(app, threads=config.threads))
-        result.ratios[app] = t_on / t_off if t_off > 0 else 1.0
-    return result
+    def execute(self, session) -> PrefetchResult:
+        config = session.config
+        if not config.engine_config.prefetchers_on:
+            raise ExperimentError("baseline config must have prefetchers enabled")
+        off_config = replace(config.engine_config, prefetchers_on=False)
+        result = PrefetchResult()
+        for app in config.workloads:
+            t_on = session.jitter("fig4", app, "on").measure(
+                session.solo_runtime(app, threads=config.threads)
+            )
+            t_off = session.jitter("fig4", app, "off").measure(
+                session.solo_runtime(
+                    app, threads=config.threads, engine_config=off_config
+                )
+            )
+            result.ratios[app] = t_on / t_off if t_off > 0 else 1.0
+        return result
+
+    def render(self, result: PrefetchResult, **_) -> str:
+        return result.render_fig4()
+
+
+def run_prefetch_sensitivity(config: ExperimentConfig | None = None) -> PrefetchResult:
+    """Run Fig 4 (thin wrapper over ``Session.run("fig4")``)."""
+    from repro.session import Session
+
+    return Session(config).run("fig4").result

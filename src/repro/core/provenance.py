@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
 from repro.engine.results import RegionMetrics
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.tools.vtune import VtuneProfiler
 from repro.workloads.registry import get_profile
 
@@ -84,16 +86,17 @@ class ProvenanceResult:
 
 
 def _profile_cells(
-    config: ExperimentConfig,
+    session,
     subjects: tuple[tuple[str, str, tuple[str, ...]], ...],
 ) -> ProvenanceResult:
-    engine = config.make_engine()
-    cache = SoloCache(engine)
+    """Profile hot regions solo and under each background, through the
+    session's shared solo/co-run caches (Fig 8's offender co-runs are
+    free once the Fig 5 sweep ran)."""
+    threads = session.config.threads
     vtune = VtuneProfiler()
     result = ProvenanceResult()
     for app, region, backgrounds in subjects:
-        prof = get_profile(app)
-        solo = cache.get(app, threads=config.threads)
+        solo = session.solo(app, threads=threads)
         if region not in solo.metrics.by_region:
             raise ExperimentError(f"{app} has no region {region!r}")
         result.regions[app] = region
@@ -101,13 +104,7 @@ def _profile_cells(
             solo.metrics.by_region[region]
         )
         for bg in backgrounds:
-            co = engine.co_run(
-                prof,
-                get_profile(bg),
-                threads=config.threads,
-                fg_solo_runtime_s=solo.runtime_s,
-                bg_solo_rate=cache.instruction_rate(bg, threads=config.threads),
-            )
+            co = session.co_run(app, bg, threads=threads)
             result.cells[(app, bg)] = MetricQuad.from_region(
                 co.fg.by_region[region]
             )
@@ -120,27 +117,62 @@ def _profile_cells(
     return result
 
 
-def run_gemini_vs_stream(config: ExperimentConfig | None = None) -> ProvenanceResult:
-    """Fig 7: GeminiGraph applications co-running with STREAM."""
-    config = config if config is not None else ExperimentConfig()
-    subjects = tuple(
-        (app, get_profile(app).dominant_region.region.name, ("Stream",))
+def _gemini_subjects(backgrounds: tuple[str, ...]) -> tuple[tuple[str, str, tuple[str, ...]], ...]:
+    return tuple(
+        (app, get_profile(app).dominant_region.region.name, backgrounds)
         for app in GEMINI_APPS
     )
-    return _profile_cells(config, subjects)
+
+
+@register_runner("fig7", title="Gemini metrics under STREAM", order=80)
+class GeminiVsStreamRunner(Runner):
+    """Fig 7: GeminiGraph applications co-running with STREAM."""
+
+    def execute(self, session) -> ProvenanceResult:
+        return _profile_cells(session, _gemini_subjects(("Stream",)))
+
+    def render(self, result: ProvenanceResult, **_) -> str:
+        return result.render("Fig 7: Gemini applications co-running with Stream")
+
+
+@register_runner("fig8", title="Gemini metrics under real offenders", order=81)
+class GeminiVsOffendersRunner(Runner):
+    """Fig 8: GeminiGraph applications vs IRSmk / fotonik3d / CIFAR."""
+
+    def execute(self, session) -> ProvenanceResult:
+        return _profile_cells(session, _gemini_subjects(OFFENDERS))
+
+    def render(self, result: ProvenanceResult, **_) -> str:
+        return result.render("Fig 8: Gemini applications co-running with offenders")
+
+
+@register_runner("table4", title="region-level profiles (gather / UUS)", order=90)
+class Table4Runner(Runner):
+    """Table IV: P-PR (gather) and fotonik3d (UUS) region profiles."""
+
+    def execute(self, session) -> ProvenanceResult:
+        return _profile_cells(session, TABLE4_SUBJECTS)
+
+    def render(self, result: ProvenanceResult, **_) -> str:
+        return result.render("Table IV: profiling results of P-PR and fotonik3d")
+
+
+def run_gemini_vs_stream(config: ExperimentConfig | None = None) -> ProvenanceResult:
+    """Fig 7 (thin wrapper over ``Session.run("fig7")``)."""
+    from repro.session import Session
+
+    return Session(config).run("fig7").result
 
 
 def run_gemini_vs_offenders(config: ExperimentConfig | None = None) -> ProvenanceResult:
-    """Fig 8: GeminiGraph applications vs IRSmk / fotonik3d / CIFAR."""
-    config = config if config is not None else ExperimentConfig()
-    subjects = tuple(
-        (app, get_profile(app).dominant_region.region.name, OFFENDERS)
-        for app in GEMINI_APPS
-    )
-    return _profile_cells(config, subjects)
+    """Fig 8 (thin wrapper over ``Session.run("fig8")``)."""
+    from repro.session import Session
+
+    return Session(config).run("fig8").result
 
 
 def run_table4(config: ExperimentConfig | None = None) -> ProvenanceResult:
-    """Table IV: P-PR (gather) and fotonik3d (UUS) region profiles."""
-    config = config if config is not None else ExperimentConfig()
-    return _profile_cells(config, TABLE4_SUBJECTS)
+    """Table IV (thin wrapper over ``Session.run("table4")``)."""
+    from repro.session import Session
+
+    return Session(config).run("table4").result

@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.core.experiment import ExperimentConfig, Jitter, SoloCache
+from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
 from repro.errors import ExperimentError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
 from repro.workloads.calibration import SUITES
 from repro.workloads.registry import suite_of
 
@@ -95,18 +97,46 @@ class ScalabilityResult:
         )
 
 
+@register_runner("fig2", title="thread scalability curves", order=20)
+class ScalabilityRunner(Runner):
+    """Fig 2 through the session substrate (solo runs shared)."""
+
+    def execute(self, session, *, max_threads: int = 8) -> ScalabilityResult:
+        result = ScalabilityResult(max_threads=max_threads)
+        for app in session.config.workloads:
+            t1 = session.jitter("fig2", app, 1).measure(
+                session.solo_runtime(app, threads=1)
+            )
+            curve: dict[int, float] = {}
+            for t in range(1, max_threads + 1):
+                rt = (
+                    session.jitter("fig2", app, t).measure(
+                        session.solo_runtime(app, threads=t)
+                    )
+                    if t > 1
+                    else t1
+                )
+                curve[t] = t1 / rt
+            result.curves[app] = curve
+        return result
+
+    def render(self, result: ScalabilityResult, **_) -> str:
+        return result.render_fig2()
+
+
+@register_runner("table2", title="Low/Medium/High scalability classes", order=21)
+class ScalabilityClassRunner(Runner):
+    """Table II: same measurement as Fig 2, rendered as classes."""
+
+    def execute(self, session, *, max_threads: int = 8) -> ScalabilityResult:
+        return session.run("fig2", max_threads=max_threads).result
+
+    def render(self, result: ScalabilityResult, **_) -> str:
+        return result.render_table2()
+
+
 def run_scalability(config: ExperimentConfig | None = None, *, max_threads: int = 8) -> ScalabilityResult:
-    """Run Fig 2 / Table II."""
-    config = config if config is not None else ExperimentConfig()
-    engine = config.make_engine()
-    cache = SoloCache(engine)
-    jitter = Jitter(config)
-    result = ScalabilityResult(max_threads=max_threads)
-    for app in config.workloads:
-        t1 = jitter.measure(cache.runtime(app, threads=1))
-        curve: dict[int, float] = {}
-        for t in range(1, max_threads + 1):
-            rt = jitter.measure(cache.runtime(app, threads=t)) if t > 1 else t1
-            curve[t] = t1 / rt
-        result.curves[app] = curve
-    return result
+    """Run Fig 2 / Table II (thin wrapper over ``Session.run("fig2")``)."""
+    from repro.session import Session
+
+    return Session(config).run("fig2", max_threads=max_threads).result

@@ -24,7 +24,7 @@ up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EngineError
 from repro.engine.bandwidth import resolve_bus

@@ -19,7 +19,7 @@ Lines carry two bits of provenance used by the experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,41 @@
+"""repro.session — the unified experiment substrate.
+
+One :class:`Session` owns the machine spec, the cross-experiment solo
+and co-run caches, the seeded jitter model and a pluggable executor;
+each paper artifact is a registered :class:`Runner` returning a
+structured :class:`RunRecord`::
+
+    from repro import ExperimentConfig, Session
+
+    session = Session(ExperimentConfig(), executor="parallel")
+    record = session.run("fig5")
+    print(record.result.render_fig5())
+    record.to_json()                      # persistable provenance
+"""
+
+from repro.session.base import Runner, jsonify
+from repro.session.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.session.record import RunRecord
+from repro.session.registry import get_runner, register_runner, runner_names
+from repro.session.session import CacheStats, Session, fingerprint
+
+__all__ = [
+    "CacheStats",
+    "Executor",
+    "ParallelExecutor",
+    "RunRecord",
+    "Runner",
+    "SerialExecutor",
+    "Session",
+    "fingerprint",
+    "get_runner",
+    "jsonify",
+    "register_runner",
+    "resolve_executor",
+    "runner_names",
+]

@@ -1,0 +1,89 @@
+"""Pluggable execution backends for embarrassingly parallel sweeps.
+
+The independent cells of the Fig 5 / Table III / mini-bench sweeps fan
+out through ``session.executor.map``.  Two backends:
+
+* :class:`SerialExecutor` — the default; runs tasks in-process.
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out.  Task functions are module-level (picklable) and rebuild
+  their engine from the task's spec + engine config, so worker results
+  are bit-identical to the serial backend (the engine is deterministic
+  and measurement jitter is keyed per cell, not drawn sequentially).
+
+Executors only ever see pure functions over picklable task tuples; all
+shared state (solo caches, jitter seeds) is resolved by the session
+*before* the fan-out and shipped inside the tasks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ExperimentError
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Minimal mapping interface runners rely on."""
+
+    name: str
+    parallel: bool
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every task, preserving order."""
+        ...
+
+
+class SerialExecutor:
+    """In-process, in-order execution (the default)."""
+
+    name = "serial"
+    parallel = False
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        return [fn(t) for t in tasks]
+
+
+class ParallelExecutor:
+    """Process-pool fan-out over independent sweep cells.
+
+    ``max_workers`` defaults to the host's CPU count.  Single-task maps
+    skip the pool entirely.
+    """
+
+    parallel = True
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExperimentError("max_workers must be >= 1")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+
+    @property
+    def name(self) -> str:
+        return f"process-pool[{self.max_workers}]"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        items: Sequence[Any] = list(tasks)
+        if len(items) <= 1:
+            return [fn(t) for t in items]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def resolve_executor(value: "Executor | str | None") -> Executor:
+    """Normalize an executor argument: instance, name, or None (serial)."""
+    if value is None:
+        return SerialExecutor()
+    if isinstance(value, str):
+        if value == "serial":
+            return SerialExecutor()
+        if value in ("parallel", "process", "process-pool"):
+            return ParallelExecutor()
+        raise ExperimentError(
+            f"unknown executor {value!r}; use 'serial' or 'parallel'"
+        )
+    if isinstance(value, Executor):
+        return value
+    raise ExperimentError(f"not an executor: {value!r}")

@@ -1,0 +1,68 @@
+"""The artifact registry: name -> Runner class.
+
+Runners register themselves at import time::
+
+    @register_runner("fig5", order=50)
+    class ConsolidationRunner(Runner):
+        ...
+
+and the CLI / :class:`~repro.session.session.Session` dispatch by
+artifact name instead of a hand-written if-ladder.  The built-in
+runners live in :mod:`repro.core`; they are imported lazily on first
+lookup so ``repro.session`` stays import-cycle free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.session.base import Runner
+
+_RUNNERS: dict[str, type[Runner]] = {}
+_INSTANCES: dict[str, Runner] = {}
+
+
+def register_runner(name: str, *, title: str = "", artifact: bool = True, order: int = 1000):
+    """Class decorator registering a :class:`Runner` under an artifact name."""
+
+    def decorate(cls: type[Runner]) -> type[Runner]:
+        if not issubclass(cls, Runner):
+            raise ExperimentError(f"{cls.__name__} must subclass Runner")
+        if name in _RUNNERS and _RUNNERS[name] is not cls:
+            raise ExperimentError(f"artifact {name!r} already registered")
+        cls.name = name
+        cls.artifact = artifact
+        cls.order = order
+        if title:
+            cls.title = title
+        _RUNNERS[name] = cls
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_runners() -> None:
+    """Import the modules that define the built-in runners."""
+    import repro.core  # noqa: F401  (registers one runner per artifact)
+
+
+def get_runner(name: str) -> Runner:
+    """The (stateless, cached) runner instance for an artifact name."""
+    _ensure_builtin_runners()
+    try:
+        cls = _RUNNERS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown artifact {name!r}; known: {', '.join(runner_names())}"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = cls()
+    return _INSTANCES[name]
+
+
+def runner_names(*, artifact_only: bool = False) -> list[str]:
+    """All registered artifact names in paper order."""
+    _ensure_builtin_runners()
+    names = [
+        n for n, cls in _RUNNERS.items() if cls.artifact or not artifact_only
+    ]
+    return sorted(names, key=lambda n: (_RUNNERS[n].order, n))

@@ -1,0 +1,298 @@
+"""The Session: shared measurement state for all paper artifacts.
+
+A :class:`Session` owns everything the eleven experiment runners used
+to construct privately:
+
+* the :class:`~repro.machine.spec.MachineSpec` and memoized
+  :class:`~repro.engine.interval.IntervalEngine` instances (one per
+  engine configuration, keyed by fingerprint);
+* a cross-experiment **solo cache** keyed by
+  ``workload x threads x engine fingerprint`` — Fig 2, Fig 3, Fig 5 and
+  Table III all reuse the same 25 solo references instead of
+  recomputing them per artifact;
+* a cross-experiment **co-run cache** keyed by
+  ``fg x bg x split x engine fingerprint`` — Table III's five pairs and
+  Fig 8's offender cells are free once the Fig 5 sweep ran;
+* the seeded :class:`~repro.core.experiment.Jitter` model, keyed
+  per-measurement so results do not depend on iteration order (which is
+  what makes the parallel executor bit-identical to the serial one);
+* a pluggable :class:`~repro.session.executors.Executor` that fans the
+  independent sweep cells out over a process pool.
+
+Usage::
+
+    from repro import ExperimentConfig, Session
+
+    session = Session(ExperimentConfig())
+    fig5 = session.run("fig5")            # 625-pair sweep
+    table3 = session.run("table3")        # solo + pair co-runs all cached
+    print(fig5.result.render_fig5())
+    everything = session.run_all()        # every paper artifact, one pass
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.core.experiment import ExperimentConfig, Jitter
+from repro.engine import CoRunResult, EngineConfig, IntervalEngine, SoloRunResult
+from repro.session.executors import Executor, resolve_executor
+from repro.session.record import RunRecord
+from repro.session.registry import get_runner, runner_names
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.registry import get_profile
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable short hash of dataclass configuration objects."""
+    blob = json.dumps(
+        [asdict(p) if hasattr(p, "__dataclass_fields__") else p for p in parts],
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss economics of a session's shared caches."""
+
+    solo_hits: int = 0
+    solo_misses: int = 0
+    corun_hits: int = 0
+    corun_misses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(asdict(self))
+
+    def delta_since(self, before: dict[str, int]) -> dict[str, int]:
+        return {k: v - before[k] for k, v in asdict(self).items()}
+
+
+def _strip_default_kwargs(runner: Any, kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Drop kwargs that merely restate the runner's execute defaults, so
+    ``run("fig2")`` and ``run("fig2", max_threads=8)`` share one memo."""
+    sig = inspect.signature(runner.execute)
+    out: dict[str, Any] = {}
+    for key, value in kwargs.items():
+        param = sig.parameters.get(key)
+        if param is not None and param.default is not inspect.Parameter.empty:
+            try:
+                if value is param.default or value == param.default:
+                    continue
+            except Exception:
+                pass  # incomparable value: keep it
+        out[key] = value
+    return out
+
+
+class Session:
+    """Shared substrate every artifact runner executes through."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        executor: Executor | str | None = None,
+    ) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self.executor = resolve_executor(executor)
+        self.stats = CacheStats()
+        #: Every RunRecord produced by this session, in execution order.
+        self.records: list[RunRecord] = []
+        self._engines: dict[str, IntervalEngine] = {}
+        self._solos: dict[tuple[str, str, int], SoloRunResult] = {}
+        self._coruns: dict[tuple[str, str, str, int, int], CoRunResult] = {}
+        self._artifacts: dict[tuple[str, str], RunRecord] = {}
+
+    # -- machine / engine ---------------------------------------------------
+
+    @property
+    def spec(self):
+        """The shared machine specification."""
+        return self.config.spec
+
+    def spec_fingerprint(self) -> str:
+        return fingerprint(self.spec)
+
+    def engine_fingerprint(self, engine_config: EngineConfig | None = None) -> str:
+        cfg = engine_config if engine_config is not None else self.config.engine_config
+        return fingerprint(self.spec, cfg)
+
+    def engine(self, engine_config: EngineConfig | None = None) -> IntervalEngine:
+        """Memoized engine for the session spec + an engine config."""
+        cfg = engine_config if engine_config is not None else self.config.engine_config
+        fp = self.engine_fingerprint(cfg)
+        if fp not in self._engines:
+            self._engines[fp] = IntervalEngine(spec=self.spec, config=cfg)
+        return self._engines[fp]
+
+    # -- shared measurement caches -----------------------------------------
+
+    def solo(
+        self,
+        name: str,
+        *,
+        threads: int,
+        engine_config: EngineConfig | None = None,
+        profile: WorkloadProfile | None = None,
+    ) -> SoloRunResult:
+        """Solo run, cached across every artifact of this session."""
+        key = (self.engine_fingerprint(engine_config), name, threads)
+        hit = self._solos.get(key)
+        if hit is not None:
+            self.stats.solo_hits += 1
+            return hit
+        self.stats.solo_misses += 1
+        prof = profile if profile is not None else get_profile(name)
+        res = self.engine(engine_config).solo_run(prof, threads=threads)
+        self._solos[key] = res
+        return res
+
+    def solo_runtime(self, name: str, *, threads: int, engine_config: EngineConfig | None = None) -> float:
+        """Solo runtime (seconds)."""
+        return self.solo(name, threads=threads, engine_config=engine_config).runtime_s
+
+    def solo_rate(self, name: str, *, threads: int, engine_config: EngineConfig | None = None) -> float:
+        """Solo instruction throughput (instructions / second)."""
+        res = self.solo(name, threads=threads, engine_config=engine_config)
+        return res.metrics.total.instructions / res.runtime_s
+
+    def _corun_key(
+        self,
+        fg: str,
+        bg: str,
+        threads: int | None,
+        bg_threads: int | None,
+        engine_config: EngineConfig | None,
+    ) -> tuple[str, str, str, int, int]:
+        fg_t = threads if threads is not None else self.config.threads
+        bg_t = bg_threads if bg_threads is not None else fg_t
+        return (self.engine_fingerprint(engine_config), fg, bg, fg_t, bg_t)
+
+    def cached_co_run(
+        self,
+        fg: str,
+        bg: str,
+        *,
+        threads: int | None = None,
+        bg_threads: int | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> CoRunResult | None:
+        """Peek the co-run cache without computing (no stats recorded)."""
+        return self._coruns.get(
+            self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        )
+
+    def store_co_run(
+        self,
+        fg: str,
+        bg: str,
+        result: CoRunResult,
+        *,
+        threads: int | None = None,
+        bg_threads: int | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        """Insert an externally computed co-run (e.g. from a pool worker)
+        into the shared cache; counted as a miss, since it was simulated."""
+        self.stats.corun_misses += 1
+        self._coruns[self._corun_key(fg, bg, threads, bg_threads, engine_config)] = result
+
+    def co_run(
+        self,
+        fg: str,
+        bg: str,
+        *,
+        threads: int | None = None,
+        bg_threads: int | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> CoRunResult:
+        """Consolidation co-run, cached across every artifact.
+
+        Solo references (fg runtime, bg rate) come from the shared solo
+        cache, so the same floats feed every caller — serial loops,
+        parallel workers and later artifacts all see identical results.
+        """
+        fg_t = threads if threads is not None else self.config.threads
+        bg_t = bg_threads if bg_threads is not None else fg_t
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        hit = self._coruns.get(key)
+        if hit is not None:
+            self.stats.corun_hits += 1
+            return hit
+        self.stats.corun_misses += 1
+        res = self.engine(engine_config).co_run(
+            get_profile(fg),
+            get_profile(bg),
+            threads=fg_t,
+            bg_threads=bg_t,
+            fg_solo_runtime_s=self.solo_runtime(fg, threads=fg_t, engine_config=engine_config),
+            bg_solo_rate=self.solo_rate(bg, threads=bg_t, engine_config=engine_config),
+        )
+        self._coruns[key] = res
+        return res
+
+    # -- measurement jitter -------------------------------------------------
+
+    def jitter(self, *key: Any) -> Jitter:
+        """Seeded jitter model for one named measurement.
+
+        Keying each measurement (instead of drawing from one sequential
+        RNG) makes every cell's noise independent of sweep order and of
+        which executor computed it.
+        """
+        return Jitter.for_key(self.config, *key)
+
+    # -- artifact execution -------------------------------------------------
+
+    def run(self, name: str, **kwargs: Any) -> RunRecord:
+        """Execute one artifact by name, memoized per (name, kwargs).
+
+        Returns the :class:`RunRecord`; re-running the same artifact
+        with equivalent arguments (explicitly passing a runner default
+        counts as equivalent) returns the *same* record object, so one
+        session holds at most one record per distinct invocation.
+        """
+        runner = get_runner(name)
+        kwargs = _strip_default_kwargs(runner, kwargs)
+        memo_key = (name, repr(sorted(kwargs.items())))
+        cached = self._artifacts.get(memo_key)
+        if cached is not None:
+            return cached
+        before = self.stats.snapshot()
+        t0 = time.perf_counter()
+        result = runner.execute(self, **kwargs)
+        duration = time.perf_counter() - t0
+        record = RunRecord(
+            artifact=name,
+            result=result,
+            provenance={
+                "artifact": name,
+                "seed": self.config.seed,
+                "threads": self.config.threads,
+                "repetitions": self.config.repetitions,
+                "jitter": self.config.jitter,
+                "workloads": list(self.config.workloads),
+                "spec_fingerprint": self.spec_fingerprint(),
+                "engine_fingerprint": self.engine_fingerprint(),
+                "executor": self.executor.name,
+                "duration_s": duration,
+                "cache": self.stats.delta_since(before),
+            },
+        )
+        self.records.append(record)
+        self._artifacts[memo_key] = record
+        return record
+
+    def run_all(self) -> dict[str, RunRecord]:
+        """Run every paper artifact in paper order; returns name -> record."""
+        return {
+            name: self.run(name)
+            for name in runner_names(artifact_only=True)
+        }

@@ -28,7 +28,6 @@ from typing import ClassVar
 
 import numpy as np
 
-from repro.errors import WorkloadError
 from repro.trace.stream import AccessBatch, take
 from repro.workloads.addr import AddressMap
 from repro.workloads.base import CodeRegion

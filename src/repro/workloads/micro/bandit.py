@@ -12,7 +12,7 @@ with Bandit far gentler than with STREAM (Fig 6a vs 6b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar
 
 import numpy as np

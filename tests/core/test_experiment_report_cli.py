@@ -39,6 +39,19 @@ class TestJitter:
         b = Jitter(ExperimentConfig(jitter=0.02, seed=5)).measure(10.0)
         assert a == b
 
+    def test_keyed_jitter_independent_of_order(self):
+        cfg = ExperimentConfig(jitter=0.02, seed=5)
+        a = Jitter.for_key(cfg, "cell", "A", "B").measure(10.0)
+        Jitter.for_key(cfg, "cell", "X", "Y").measure(10.0)  # unrelated draw
+        b = Jitter.for_key(cfg, "cell", "A", "B").measure(10.0)
+        assert a == b
+
+    def test_keyed_jitter_distinct_keys_distinct_noise(self):
+        cfg = ExperimentConfig(jitter=0.02, seed=5)
+        a = Jitter.for_key(cfg, "cell", "A", "B").measure(10.0)
+        b = Jitter.for_key(cfg, "cell", "B", "A").measure(10.0)
+        assert a != b
+
 
 class TestSoloCache:
     def test_caches_results(self):
@@ -125,3 +138,21 @@ class TestCli:
         assert main(["insights", "--workloads", "G-CC,fotonik3d,swaptions"]) == 0
         out = capsys.readouterr().out
         assert "top offenders" in out
+
+    def test_fig5_parallel_matches_serial(self, capsys):
+        assert main(["fig5", "--workloads", "swaptions,nab", "--csv"]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "fig5", "--workloads", "swaptions,nab", "--csv",
+            "--parallel", "--workers", "2",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_allocation_needs_two_workloads(self, capsys):
+        assert main(["allocation", "--workloads", "swaptions"]) == 2
+        assert "need exactly two workloads" in capsys.readouterr().err
+
+    def test_list_shows_runner_titles(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "consolidation heat map" in out
