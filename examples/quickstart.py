@@ -13,12 +13,20 @@ Reproduces the paper's core workflow on the Session API:
 5. attribute the victim's slowdown to its hot code region — the
    co-run comes straight from the session cache, nothing re-runs;
 6. keep the record: every artifact returns a RunRecord with
-   provenance metadata and a JSON round-trip.
+   provenance metadata and a JSON round-trip;
+7. make it survive the process: attach a persistent ResultStore
+   (``Session(config, store=...)``, or ``repro --store DIR ...`` on
+   the CLI) so a cold process re-reads yesterday's measurements from
+   disk instead of re-simulating them — ``repro --store .repro-store
+   run-all`` builds the whole campaign once and freezes a
+   manifest.json of every artifact's provenance.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ExperimentConfig, Session, get_profile, list_workloads
+import tempfile
+
+from repro import ExperimentConfig, ResultStore, Session, get_profile, list_workloads
 from repro.tools import VtuneProfiler
 from repro.units import GB
 
@@ -81,6 +89,33 @@ def main() -> None:
         f"solo-cache hits={session.stats.solo_hits} "
         f"(JSON round-trip: {len(record.to_json())} bytes)"
     )
+
+    # --- warm-store workflow: measurements survive the process ---
+    # `repro --store .repro-store run-all` does this for every artifact;
+    # here the store round-trips one sweep through a throwaway directory.
+    print("\n== persistent store: a cold process over a warm store ==")
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = ResultStore(store_dir)
+        Session(
+            ExperimentConfig(workloads=(FOREGROUND, BACKGROUND), jitter=0.0),
+            store=store,
+        ).run("fig5")  # simulates + persists (write-behind)
+
+        fresh = Session(  # stands in for tomorrow's process
+            ExperimentConfig(workloads=(FOREGROUND, BACKGROUND), jitter=0.0),
+            store=store,
+        )
+        warm = fresh.run("fig5")
+        print(
+            f"warm run: {fresh.stats.solo_disk_hits} solo + "
+            f"{fresh.stats.corun_disk_hits} co-run disk hits, "
+            f"{fresh.stats.corun_misses} simulations; "
+            f"cells identical: {warm.result.cells == matrix.cells}"
+        )
+        print(
+            f"store record: {store.query(artifact='fig5')[-1].run_id} "
+            "(content-addressed, so re-runs are idempotent)"
+        )
 
 
 if __name__ == "__main__":

@@ -20,7 +20,12 @@ Interference" (Xu, Song, Mao — arXiv:2303.15763), built as a library:
 * :mod:`repro.session` — the unified experiment substrate: a
   :class:`Session` owns the machine spec, cross-experiment solo and
   co-run caches, the seeded jitter model, and a pluggable executor
-  that fans independent sweep cells out over a process pool.
+  that fans independent sweep cells out over a process or thread pool;
+* :mod:`repro.store` — the persistent results database: a
+  fingerprint-keyed on-disk solo/co-run cache (warm stores make cold
+  processes bit-identical and ~15x faster), streamed ``RunRecord``\\ s
+  with an append-only index and query API, and the ``repro run-all``
+  campaign manifest.
 
 Quick start::
 
@@ -36,9 +41,11 @@ Quick start::
     record.to_json()                        # provenance + payload
 
 Scale up with ``Session(config, executor="parallel")`` (bit-identical
-to serial), run every artifact with ``session.run_all()``, or keep
-using the historical ``run_*`` wrappers — they delegate to the same
-registry.
+to serial), persist across processes with
+``Session(config, store=ResultStore(".repro-store"))``, run every
+artifact with ``session.run_all()`` / ``repro run-all --store DIR``,
+or keep using the historical ``run_*`` wrappers — they delegate to
+the same registry.
 """
 
 from repro.core import (
@@ -63,10 +70,12 @@ from repro.session import (
     Runner,
     SerialExecutor,
     Session,
+    ThreadExecutor,
     get_runner,
     register_runner,
     runner_names,
 )
+from repro.store import ResultStore
 from repro.trace import MissRatioCurve, TraceProfiler
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.registry import (
@@ -83,10 +92,12 @@ __all__ = [
     "ExperimentConfig",
     "IntervalEngine",
     "ParallelExecutor",
+    "ResultStore",
     "RunRecord",
     "Runner",
     "SerialExecutor",
     "Session",
+    "ThreadExecutor",
     "Machine",
     "MachineSpec",
     "MissRatioCurve",

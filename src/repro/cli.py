@@ -6,25 +6,47 @@ Usage::
     repro fig2 [--workloads G-PR,G-CC] [--csv]
     repro fig5 --workloads G-CC,fotonik3d,swaptions --parallel
     repro table4
+    repro --store .repro-store run-all          # campaign + manifest.json
+    repro --store .repro-store fig5             # warm-store single artifact
+    repro --store .repro-store store ls
+    repro --store .repro-store store show fig5
 
 Experiment ids are artifact names in the runner registry
 (:mod:`repro.session.registry`): table1, fig2, table2, fig3, fig4,
 fig5, table3, fig6, fig7, fig8, table4, plus the extension studies
 (solo, insights, predict, efficiency, allocation).  Every invocation
 builds one :class:`~repro.session.session.Session`, so ``--parallel``
-fans the independent sweep cells out over a process pool with
+(or ``--executor thread``) fans the independent sweep cells out with
 bit-identical results.
+
+With ``--store DIR`` the session reads measurements through the
+persistent :class:`~repro.store.store.ResultStore` and writes fresh
+ones behind, every executed artifact is streamed into
+``DIR/results/`` + ``DIR/index.jsonl``, and ``run-all`` freezes the
+campaign into ``DIR/manifest.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 
 from repro.core import ExperimentConfig
-from repro.errors import ReproError
-from repro.session import ParallelExecutor, Session, get_runner, runner_names
+from repro.errors import ReproError, StoreError
+from repro.session import (
+    ParallelExecutor,
+    Session,
+    ThreadExecutor,
+    get_runner,
+    runner_names,
+)
 from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
+
+#: Non-artifact CLI commands sharing the experiment position.
+_COMMANDS = ("list", "run-all", "store")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=runner_names() + ["list"],
-        help="artifact name from the runner registry, or 'list'",
+        choices=runner_names() + list(_COMMANDS),
+        help="artifact name from the runner registry, or list / run-all / store",
+    )
+    parser.add_argument(
+        "subargs",
+        nargs="*",
+        help="arguments for 'store' (ls | show <artifact-or-run-id>)",
     )
     parser.add_argument(
         "--workloads",
@@ -51,15 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="jitter seed")
     parser.add_argument("--csv", action="store_true", help="CSV output where supported")
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent result store: read measurements through DIR, "
+        "write fresh ones behind, stream records + index",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "parallel", "thread"),
+        default=None,
+        help="sweep fan-out backend (default serial; 'parallel' = process "
+        "pool, 'thread' = thread pool for hosts where fork dominates)",
+    )
+    parser.add_argument(
         "--parallel",
         action="store_true",
-        help="fan independent sweep cells out over a process pool",
+        help="shorthand for --executor parallel",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for --parallel (default: CPU count)",
+        help="pool size for --executor parallel/thread (default: CPU count)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="manifest output path for run-all "
+        "(default: <store>/manifest.json, or ./manifest.json without --store)",
     )
     return parser
 
@@ -69,9 +117,99 @@ def _list_text() -> str:
     for name in runner_names():
         runner = get_runner(name)
         lines.append(f"  {name:<12} {runner.title}")
+    lines.append("commands: run-all (campaign + manifest), store ls/show")
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
     return "\n".join(lines)
+
+
+def _resolve_executor_arg(args: argparse.Namespace):
+    name = args.executor or ("parallel" if args.parallel else None)
+    if name == "parallel":
+        return ParallelExecutor(args.workers)
+    if name == "thread":
+        return ThreadExecutor(args.workers)
+    return None
+
+
+def _store_command(args: argparse.Namespace) -> int:
+    """``repro store ls`` / ``repro store show <artifact-or-run-id>``."""
+    from repro.store import ResultStore
+
+    if args.store is None:
+        print("error: 'store' requires --store DIR", file=sys.stderr)
+        return 2
+    sub = args.subargs[0] if args.subargs else "ls"
+    store = ResultStore(args.store)
+    if sub == "ls":
+        counts = store.describe()
+        print(
+            f"store {store.root}: {counts['solo_entries']} solo, "
+            f"{counts['corun_entries']} co-run, {counts['records']} record(s), "
+            f"{counts['index_lines']} index line(s)"
+        )
+        for entry in store.query():
+            print(
+                f"  {entry.run_id:<32} {entry.artifact:<12} "
+                f"spec={entry.spec_fingerprint} {entry.path}"
+            )
+        return 0
+    if sub == "show":
+        if len(args.subargs) < 2:
+            print("error: store show needs an artifact name or run id", file=sys.stderr)
+            return 2
+        target = args.subargs[1]
+        record = (
+            store.latest(target) if target in runner_names() else store.load(target)
+        )
+        runner = get_runner(record.artifact)
+        from repro.session import Runner
+
+        if type(runner).decode is not Runner.decode:
+            # The runner rebuilds its result object from the payload, so
+            # the stored record renders exactly like a live run.
+            print(runner.render(record.result, csv=args.csv))
+        else:
+            # Default decode keeps the raw JSON payload: show it as-is.
+            print(json.dumps(record.result, indent=1, default=str))
+        print(json.dumps(record.provenance, indent=1))
+        return 0
+    print(f"error: unknown store subcommand {sub!r}; use ls or show", file=sys.stderr)
+    return 2
+
+
+def _run_all(args: argparse.Namespace, session: Session) -> int:
+    """Execute every registered runner and freeze the campaign manifest."""
+    from repro.store import write_manifest
+
+    records = session.run_all(include_extensions=True)
+    for name, record in records.items():
+        prov = record.provenance
+        cache = prov["cache"]
+        served = (
+            cache.get("solo_hits", 0)
+            + cache.get("corun_hits", 0)
+            + cache.get("solo_disk_hits", 0)
+            + cache.get("corun_disk_hits", 0)
+        )
+        print(
+            f"{name:<12} {prov['duration_s'] * 1e3:8.1f} ms   "
+            f"cache: {served} served / "
+            f"{cache.get('solo_misses', 0) + cache.get('corun_misses', 0)} simulated"
+        )
+    if args.manifest is not None:
+        manifest_path = Path(args.manifest)
+    elif session.store is not None:
+        manifest_path = session.store.root / "manifest.json"
+    else:
+        manifest_path = Path("manifest.json")
+    write_manifest(session, manifest_path, session.store)
+    stats = session.stats
+    print(
+        f"{len(records)} artifacts -> {manifest_path}   "
+        f"disk hits: {stats.solo_disk_hits} solo / {stats.corun_disk_hits} co-run"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,25 +218,45 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         print(_list_text())
         return 0
-    if args.workloads:
-        names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
-    else:
-        names = APPLICATIONS
+    if args.experiment != "store" and args.subargs:
+        print(
+            f"error: unexpected argument(s): {' '.join(args.subargs)}",
+            file=sys.stderr,
+        )
+        return 2
     try:
+        if args.experiment == "store":
+            return _store_command(args)
+        if args.workloads:
+            names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+        else:
+            names = APPLICATIONS
         config = ExperimentConfig(
             threads=args.threads,
             repetitions=args.repetitions,
             seed=args.seed,
             workloads=names,
         )
-        executor = ParallelExecutor(args.workers) if args.parallel else None
-        session = Session(config, executor=executor)
+        session = Session(
+            config, executor=_resolve_executor_arg(args), store=args.store
+        )
+        if args.experiment == "run-all":
+            return _run_all(args, session)
         runner = get_runner(args.experiment)
         record = session.run(args.experiment)
         print(runner.render(record.result, csv=args.csv))
+    except StoreError as exc:
+        print(f"store error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly (and keep
+        # the interpreter from re-raising on stdout flush at shutdown).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0
 
 

@@ -19,11 +19,13 @@ against, on top of this repo's substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.core.consolidation import ConsolidationMatrix
 from repro.core.experiment import ExperimentConfig, SoloCache
+from repro.engine import IntervalEngine
 from repro.errors import ExperimentError
 from repro.session.base import Runner
 from repro.session.registry import register_runner
@@ -95,6 +97,44 @@ class SensitivityCurve:
         if s1 == s0:
             return float(l0)
         return float(l0 + (slowdown - s0) / (s1 - s0) * (l1 - l0))
+
+
+class _AppCharacterization(NamedTuple):
+    """One application's characterization shipped to a pool worker."""
+
+    config: ExperimentConfig
+    app: str
+    levels: tuple[float, ...]
+    app_solo_runtime_s: float
+    app_solo_rate: float
+    reporter: WorkloadProfile
+    reporter_solo_runtime_s: float
+
+
+def _characterize_app(task: _AppCharacterization) -> tuple[str, tuple[float, ...], float]:
+    """Sensitivity slowdowns + reporter squeeze for one app (runs inside
+    pool workers; solo references come pre-resolved from the parent
+    session's cache, so results are bit-identical to the serial path)."""
+    config = task.config
+    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
+    profile = get_profile(task.app)
+    slows: list[float] = []
+    for level in task.levels:
+        if level == 0.0:
+            slows.append(1.0)
+            continue
+        res = engine.co_run(
+            profile, bubble_profile(level), threads=config.threads,
+            fg_solo_runtime_s=task.app_solo_runtime_s, bg_solo_rate=1e9,
+        )
+        slows.append(res.normalized_time)
+    mono = tuple(np.maximum.accumulate(slows))
+    squeeze = engine.co_run(
+        task.reporter, profile, threads=config.threads,
+        fg_solo_runtime_s=task.reporter_solo_runtime_s,
+        bg_solo_rate=task.app_solo_rate,
+    ).normalized_time
+    return task.app, mono, squeeze
 
 
 @dataclass
@@ -170,6 +210,28 @@ class BubbleUpPredictor:
 
         self._reporter_curve = curve_for(self.reporter, self.reporter.name)
         rep_solo = solo_run(self.reporter)
+        if session is not None and session.executor.parallel and len(apps) > 1:
+            # The O(N) characterizations are independent: ship each app
+            # (with its pre-resolved solo references) to the session's
+            # executor; only the reporter curve above runs serially.
+            tasks = [
+                _AppCharacterization(
+                    config=self.config,
+                    app=app,
+                    levels=self.levels,
+                    app_solo_runtime_s=solo_run(get_profile(app)).runtime_s,
+                    app_solo_rate=rate_of(app),
+                    reporter=self.reporter,
+                    reporter_solo_runtime_s=rep_solo.runtime_s,
+                )
+                for app in apps
+            ]
+            for app, slows, squeeze in session.executor.map(_characterize_app, tasks):
+                self.sensitivity[app] = SensitivityCurve(
+                    app=app, levels=self.levels, slowdowns=slows
+                )
+                self.pressure[app] = self._reporter_curve.pressure_for(squeeze)
+            return self
         for app in apps:
             profile = get_profile(app)
             self.sensitivity[app] = curve_for(profile, app)

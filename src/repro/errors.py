@@ -33,3 +33,8 @@ class EngineError(ReproError):
 
 class ExperimentError(ReproError):
     """Failure while assembling or running a paper experiment."""
+
+
+class StoreError(ReproError):
+    """A persistent result-store problem: incompatible on-disk schema,
+    unreadable record, or a lookup that cannot be satisfied."""

@@ -18,6 +18,7 @@ from repro.session.executors import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
     resolve_executor,
 )
 from repro.session.record import RunRecord
@@ -32,6 +33,7 @@ __all__ = [
     "Runner",
     "SerialExecutor",
     "Session",
+    "ThreadExecutor",
     "fingerprint",
     "get_runner",
     "jsonify",

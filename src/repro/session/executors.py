@@ -1,7 +1,9 @@
 """Pluggable execution backends for embarrassingly parallel sweeps.
 
-The independent cells of the Fig 5 / Table III / mini-bench sweeps fan
-out through ``session.executor.map``.  Two backends:
+The independent cells of the Fig 5 / Table III / mini-bench sweeps —
+and the predictor's bubble characterizations and the allocation
+sweep's core splits — fan out through ``session.executor.map``.  Three
+backends:
 
 * :class:`SerialExecutor` — the default; runs tasks in-process.
 * :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
@@ -9,16 +11,22 @@ out through ``session.executor.map``.  Two backends:
   their engine from the task's spec + engine config, so worker results
   are bit-identical to the serial backend (the engine is deterministic
   and measurement jitter is keyed per cell, not drawn sequentially).
+* :class:`ThreadExecutor` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  fan-out for hosts where fork/spawn startup dominates the sweep (the
+  ROADMAP's thread-pool follow-on).  The numpy-heavy engine kernels
+  release the GIL often enough for modest thread counts to help, and
+  there is no pickling or process-spawn cost at all.
 
 Executors only ever see pure functions over picklable task tuples; all
 shared state (solo caches, jitter seeds) is resolved by the session
-*before* the fan-out and shipped inside the tasks.
+*before* the fan-out and shipped inside the tasks.  That discipline is
+what lets the three backends produce identical bits.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ExperimentError
@@ -72,6 +80,34 @@ class ParallelExecutor:
             return list(pool.map(fn, items))
 
 
+class ThreadExecutor:
+    """Thread-pool fan-out: no fork/spawn or pickling overhead.
+
+    Tasks run in the parent process, so this backend also serves hosts
+    where process pools are unavailable (restricted sandboxes) —
+    results stay bit-identical because task functions are pure and the
+    engine is deterministic.
+    """
+
+    parallel = True
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExperimentError("max_workers must be >= 1")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+
+    @property
+    def name(self) -> str:
+        return f"thread-pool[{self.max_workers}]"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        items: Sequence[Any] = list(tasks)
+        if len(items) <= 1:
+            return [fn(t) for t in items]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
 def resolve_executor(value: "Executor | str | None") -> Executor:
     """Normalize an executor argument: instance, name, or None (serial)."""
     if value is None:
@@ -81,8 +117,10 @@ def resolve_executor(value: "Executor | str | None") -> Executor:
             return SerialExecutor()
         if value in ("parallel", "process", "process-pool"):
             return ParallelExecutor()
+        if value in ("thread", "threads", "thread-pool"):
+            return ThreadExecutor()
         raise ExperimentError(
-            f"unknown executor {value!r}; use 'serial' or 'parallel'"
+            f"unknown executor {value!r}; use 'serial', 'parallel' or 'thread'"
         )
     if isinstance(value, Executor):
         return value

@@ -17,7 +17,12 @@ to construct privately:
   per-measurement so results do not depend on iteration order (which is
   what makes the parallel executor bit-identical to the serial one);
 * a pluggable :class:`~repro.session.executors.Executor` that fans the
-  independent sweep cells out over a process pool.
+  independent sweep cells out over a process or thread pool;
+* optionally a persistent :class:`~repro.store.store.ResultStore`
+  (``Session(config, store=...)``): solo/co-run lookups read through
+  the disk tier, fresh simulations write behind to it, and every
+  executed artifact's record streams into the store's index — a cold
+  process over a warm store never re-simulates.
 
 Usage::
 
@@ -60,18 +65,41 @@ def fingerprint(*parts: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss economics of a session's shared caches."""
+    """Hit/miss economics of a session's shared caches.
+
+    ``*_hits`` count in-memory hits, ``*_disk_hits`` count results
+    served from an attached :class:`~repro.store.store.ResultStore`
+    (read-through), and ``*_misses`` count actual simulations.
+    """
 
     solo_hits: int = 0
     solo_misses: int = 0
     corun_hits: int = 0
     corun_misses: int = 0
+    solo_disk_hits: int = 0
+    corun_disk_hits: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(asdict(self))
 
     def delta_since(self, before: dict[str, int]) -> dict[str, int]:
         return {k: v - before[k] for k, v in asdict(self).items()}
+
+
+def _resolve_store(value: Any) -> Any:
+    """Normalize a store argument: ResultStore instance, path, or None.
+
+    Imported lazily — :mod:`repro.store` depends on this module for
+    :func:`fingerprint`, so the dependency must stay one-directional at
+    import time.
+    """
+    if value is None:
+        return None
+    from repro.store import ResultStore
+
+    if isinstance(value, ResultStore):
+        return value
+    return ResultStore(value)
 
 
 def _strip_default_kwargs(runner: Any, kwargs: dict[str, Any]) -> dict[str, Any]:
@@ -99,16 +127,25 @@ class Session:
         config: ExperimentConfig | None = None,
         *,
         executor: Executor | str | None = None,
+        store: "Any | None" = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig()
         self.executor = resolve_executor(executor)
         self.stats = CacheStats()
         #: Every RunRecord produced by this session, in execution order.
         self.records: list[RunRecord] = []
+        #: Optional persistent ResultStore: solo/co-run lookups read
+        #: through it, fresh simulations write behind to it, and every
+        #: executed artifact's record is streamed into it.
+        self.store = _resolve_store(store)
         self._engines: dict[str, IntervalEngine] = {}
         self._solos: dict[tuple[str, str, int], SoloRunResult] = {}
         self._coruns: dict[tuple[str, str, str, int, int], CoRunResult] = {}
         self._artifacts: dict[tuple[str, str], RunRecord] = {}
+        # Keys promoted from disk by a peek and not yet consumed by
+        # co_run — lets the consuming lookup skip the hit counter, so
+        # one disk-served measurement is counted exactly once.
+        self._disk_promoted: set[tuple[str, str, str, int, int]] = set()
 
     # -- machine / engine ---------------------------------------------------
 
@@ -142,16 +179,32 @@ class Session:
         engine_config: EngineConfig | None = None,
         profile: WorkloadProfile | None = None,
     ) -> SoloRunResult:
-        """Solo run, cached across every artifact of this session."""
-        key = (self.engine_fingerprint(engine_config), name, threads)
+        """Solo run, cached across every artifact of this session.
+
+        Lookup order: in-memory cache, then the attached store (disk
+        hit), then simulation — which writes behind to both.  Explicit
+        ``profile`` overrides bypass the disk tier: the store keys by
+        name, and only registry-resolved profiles are guaranteed stable
+        under one engine fingerprint.
+        """
+        engine_fp = self.engine_fingerprint(engine_config)
+        key = (engine_fp, name, threads)
         hit = self._solos.get(key)
         if hit is not None:
             self.stats.solo_hits += 1
             return hit
+        if self.store is not None and profile is None:
+            disk = self.store.get_solo(engine_fp, name, threads)
+            if disk is not None:
+                self.stats.solo_disk_hits += 1
+                self._solos[key] = disk
+                return disk
         self.stats.solo_misses += 1
         prof = profile if profile is not None else get_profile(name)
         res = self.engine(engine_config).solo_run(prof, threads=threads)
         self._solos[key] = res
+        if self.store is not None and profile is None:
+            self.store.put_solo(engine_fp, name, threads, res)
         return res
 
     def solo_runtime(self, name: str, *, threads: int, engine_config: EngineConfig | None = None) -> float:
@@ -184,10 +237,24 @@ class Session:
         bg_threads: int | None = None,
         engine_config: EngineConfig | None = None,
     ) -> CoRunResult | None:
-        """Peek the co-run cache without computing (no stats recorded)."""
-        return self._coruns.get(
-            self._corun_key(fg, bg, threads, bg_threads, engine_config)
-        )
+        """Peek the co-run caches without simulating.
+
+        Memory peeks record no stats; a disk peek that finds the result
+        promotes it into the in-memory cache and counts one disk hit
+        (the fan-out planners use this, so cells already persisted are
+        never shipped to workers).  The promoted key is remembered so
+        the consuming :meth:`co_run` lookup does not count the same
+        measurement a second time as a memory hit.
+        """
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        hit = self._coruns.get(key)
+        if hit is None and self.store is not None:
+            hit = self.store.get_corun(key[0], fg, bg, key[3], key[4])
+            if hit is not None:
+                self.stats.corun_disk_hits += 1
+                self._coruns[key] = hit
+                self._disk_promoted.add(key)
+        return hit
 
     def store_co_run(
         self,
@@ -202,7 +269,10 @@ class Session:
         """Insert an externally computed co-run (e.g. from a pool worker)
         into the shared cache; counted as a miss, since it was simulated."""
         self.stats.corun_misses += 1
-        self._coruns[self._corun_key(fg, bg, threads, bg_threads, engine_config)] = result
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        self._coruns[key] = result
+        if self.store is not None:
+            self.store.put_corun(key[0], fg, bg, key[3], key[4], result)
 
     def co_run(
         self,
@@ -224,8 +294,18 @@ class Session:
         key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
         hit = self._coruns.get(key)
         if hit is not None:
-            self.stats.corun_hits += 1
+            if key in self._disk_promoted:
+                self._disk_promoted.discard(key)  # already counted as a disk hit
+            else:
+                self.stats.corun_hits += 1
             return hit
+        # Disk tier: cached_co_run owns the lookup-and-promote logic.
+        promoted = self.cached_co_run(
+            fg, bg, threads=threads, bg_threads=bg_threads, engine_config=engine_config
+        )
+        if promoted is not None:
+            self._disk_promoted.discard(key)
+            return promoted
         self.stats.corun_misses += 1
         res = self.engine(engine_config).co_run(
             get_profile(fg),
@@ -236,6 +316,8 @@ class Session:
             bg_solo_rate=self.solo_rate(bg, threads=bg_t, engine_config=engine_config),
         )
         self._coruns[key] = res
+        if self.store is not None:
+            self.store.put_corun(key[0], fg, bg, key[3], key[4], res)
         return res
 
     # -- measurement jitter -------------------------------------------------
@@ -274,6 +356,10 @@ class Session:
             result=result,
             provenance={
                 "artifact": name,
+                # Non-default invocation arguments (repr'd): lets the
+                # store tell a canonical artifact run from a nested
+                # subset run (e.g. fig6's mini-bench fig5 sweep).
+                "arguments": {k: repr(v) for k, v in sorted(kwargs.items())},
                 "seed": self.config.seed,
                 "threads": self.config.threads,
                 "repetitions": self.config.repetitions,
@@ -288,11 +374,19 @@ class Session:
         )
         self.records.append(record)
         self._artifacts[memo_key] = record
+        if self.store is not None:
+            self.store.record(record)
         return record
 
-    def run_all(self) -> dict[str, RunRecord]:
-        """Run every paper artifact in paper order; returns name -> record."""
+    def run_all(self, *, include_extensions: bool = False) -> dict[str, RunRecord]:
+        """Run every paper artifact in paper order; returns name -> record.
+
+        With ``include_extensions=True`` the registered extension
+        studies (solo, insights, predict, efficiency, allocation) run
+        after the paper artifacts, each with its default arguments —
+        this is what ``repro run-all`` executes for a campaign.
+        """
         return {
             name: self.run(name)
-            for name in runner_names(artifact_only=True)
+            for name in runner_names(artifact_only=not include_extensions)
         }

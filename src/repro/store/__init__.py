@@ -1,0 +1,69 @@
+"""repro.store — the persistent results database for sweep campaigns.
+
+The in-memory caches of :class:`~repro.session.session.Session` (PR 1)
+die with the process; this package is their on-disk continuation plus
+the beginnings of a sweep-campaign results database:
+
+* :class:`ResultStore` — a fingerprint-keyed solo/co-run cache with
+  atomic writes and a versioned schema.  A session constructed with
+  ``Session(config, store=ResultStore(".repro-store"))`` (or CLI
+  ``repro --store .repro-store ...``) reads through the store and
+  writes behind it, so a *cold process over a warm store* costs about
+  as much as PR 1's warm in-memory path.
+* :class:`RecordSink` — every executed artifact's
+  :class:`~repro.session.record.RunRecord` is streamed to
+  ``results/<artifact>/<run_id>.json`` (run ids are content-addressed
+  and timestamp-free) and indexed in an append-only ``index.jsonl``.
+* a query API — ``store.query(artifact="fig5", spec_fp=...)``,
+  ``store.latest("fig5")``, ``store.load(run_id)``.
+* :func:`write_manifest` — ``repro run-all`` freezes a whole campaign
+  (every registered runner, all provenance, all record paths) into one
+  ``manifest.json``.
+
+Store layout (``<root>`` is the directory handed to ``--store``)::
+
+    <root>/
+      store.json                   schema marker {"schema": 1, ...}
+      solo/<engine_fp>/            one JSON per cached solo run,
+        <app>-t<T>-<keyfp>.json      key: engine_fp x workload x threads
+      corun/<engine_fp>/           one JSON per cached co-run,
+        <fg>-vs-<bg>-<FT>x<BT>-<keyfp>.json
+                                     key: engine_fp x fg x bg x fg_t x bg_t
+      results/<artifact>/          streamed RunRecords
+        <run_id>.json
+      index.jsonl                  append-only record index
+      manifest.json                last `repro run-all` campaign
+
+Keys reuse :func:`repro.session.session.fingerprint` exactly — the
+same function that keys the in-memory caches — so a result persisted
+under one machine spec / engine configuration can never warm a session
+running a different one.  All writes are atomic (tmp + rename);
+readers treat torn or foreign files as misses, never as data.
+"""
+
+from repro.store.codec import (
+    decode_corun,
+    decode_solo,
+    encode_corun,
+    encode_solo,
+)
+from repro.store.manifest import build_manifest, write_manifest
+from repro.store.store import (
+    SCHEMA_VERSION,
+    IndexEntry,
+    RecordSink,
+    ResultStore,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "IndexEntry",
+    "RecordSink",
+    "ResultStore",
+    "build_manifest",
+    "decode_corun",
+    "decode_solo",
+    "encode_corun",
+    "encode_solo",
+    "write_manifest",
+]

@@ -1,0 +1,73 @@
+"""Campaign manifests: one JSON capturing a whole ``run-all`` pass.
+
+``repro run-all`` executes every registered runner through one
+:class:`~repro.session.session.Session` and then freezes the campaign
+into a ``manifest.json``::
+
+    {
+      "schema": 1,
+      "config": {"seed": 0, "threads": 4, ..., "workloads": [...]},
+      "spec_fingerprint": "...", "engine_fingerprint": "...",
+      "executor": "serial",
+      "cache": {"solo_hits": ..., "corun_disk_hits": ..., ...},
+      "artifacts": {
+        "fig5": {"run_id": "fig5-<fp>", "path": "results/fig5/...json",
+                  "provenance": {...}},
+        ...
+      }
+    }
+
+Every artifact's provenance (fingerprints, per-run cache deltas,
+duration) is recorded, and — when a store is attached — the ``run_id``
+and record path tie each manifest row to the streamed record in
+``results/``, so a campaign is fully re-loadable from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.store.store import SCHEMA_VERSION, ResultStore, _atomic_write_text
+
+
+def build_manifest(session: Any, store: ResultStore | None = None) -> dict[str, Any]:
+    """Freeze a session's executed records into a manifest dict."""
+    config = session.config
+    artifacts: dict[str, Any] = {}
+    for record in session.records:
+        if record.artifact in artifacts and record.provenance.get("arguments"):
+            continue  # keep the canonical run over a nested subset run
+        row: dict[str, Any] = {"provenance": dict(record.provenance)}
+        if store is not None:
+            run_id = store.run_id_for(record)
+            row["run_id"] = run_id
+            row["path"] = store.sink.record_relpath(record, run_id)
+        artifacts[record.artifact] = row
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "seed": config.seed,
+            "threads": config.threads,
+            "repetitions": config.repetitions,
+            "jitter": config.jitter,
+            "workloads": list(config.workloads),
+        },
+        "spec_fingerprint": session.spec_fingerprint(),
+        "engine_fingerprint": session.engine_fingerprint(),
+        "executor": session.executor.name,
+        "cache": session.stats.snapshot(),
+        "artifacts": artifacts,
+    }
+
+
+def write_manifest(
+    session: Any,
+    path: str | Path,
+    store: ResultStore | None = None,
+) -> dict[str, Any]:
+    """Build and atomically write a manifest; returns the dict."""
+    manifest = build_manifest(session, store)
+    _atomic_write_text(Path(path), json.dumps(manifest, indent=1))
+    return manifest

@@ -1,0 +1,403 @@
+"""ResultStore: the on-disk half of the Session's measurement caches.
+
+Layout under one store root (see the package docstring in
+:mod:`repro.store` for the full tour)::
+
+    <root>/
+      store.json                  # schema version marker
+      solo/<engine_fp>/<app>-t<T>-<keyfp>.json
+      corun/<engine_fp>/<fg>-vs-<bg>-<FT>x<BT>-<keyfp>.json
+      results/<artifact>/<run_id>.json
+      index.jsonl                 # append-only record index
+      manifest.json               # written by `repro run-all`
+
+Cache entries are content-addressed: the filename embeds a
+:func:`repro.session.session.fingerprint` of the exact cache key the
+:class:`~repro.session.session.Session` uses in memory
+(``engine_fingerprint x workload x threads`` for solos,
+``engine_fingerprint x fg x bg x fg_threads x bg_threads`` for
+co-runs), so a warm store can never serve a result computed under a
+different machine spec or engine configuration.
+
+Durability rules:
+
+* every file is written to a ``.tmp-<pid>`` sibling and published with
+  :func:`os.replace`, so readers never observe a half-written payload;
+* readers treat unparseable or schema-mismatched files as cache misses
+  (a crash mid-write costs a re-simulation, never a wrong number);
+* the index is append-only JSONL; a torn final line is skipped by
+  :meth:`ResultStore.query`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.engine.results import CoRunResult, SoloRunResult
+from repro.errors import StoreError
+from repro.session.record import RunRecord
+from repro.session.registry import get_runner
+from repro.session.session import fingerprint
+from repro.store.codec import decode_corun, decode_solo, encode_corun, encode_solo
+
+#: Version of the on-disk layout; bumped on incompatible change.
+SCHEMA_VERSION = 1
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _safe_name(name: str) -> str:
+    """Filesystem-safe slug for a workload/artifact name (readability
+    only — uniqueness comes from the key fingerprint suffix)."""
+    return _SAFE.sub("_", name) or "_"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via a same-directory rename, so a
+    crash mid-write leaves only an ignorable ``.tmp-*`` sibling."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Any | None:
+    """Parse a JSON file; missing, torn or non-JSON files are ``None``."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One line of ``index.jsonl``: where a streamed record landed."""
+
+    run_id: str
+    artifact: str
+    #: Path of the record file, relative to the store root.
+    path: str
+    spec_fingerprint: str
+    engine_fingerprint: str
+    seed: int
+    #: Cache hit/miss deltas of the run that produced the record.
+    cache: dict[str, int]
+    duration_s: float
+    #: Non-default invocation arguments (repr'd); empty for a
+    #: canonical ``session.run(name)`` execution.
+    arguments: dict[str, str]
+
+    @property
+    def is_canonical(self) -> bool:
+        """True for a default-argument (whole-artifact) run."""
+        return not self.arguments
+
+    def to_line(self) -> str:
+        return json.dumps({"schema": SCHEMA_VERSION, **asdict(self)})
+
+
+class RecordSink:
+    """Streams :class:`RunRecord`\\ s into ``results/`` + ``index.jsonl``.
+
+    Run ids are content-addressed and timestamp-free — a fingerprint of
+    the artifact name, the configuration provenance and the encoded
+    payload — so re-running an identical experiment overwrites the same
+    record file (idempotent) while the append-only index keeps the full
+    invocation history.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.index_path = self.root / "index.jsonl"
+
+    def run_id_for(self, record: RunRecord) -> str:
+        prov = record.provenance
+        payload = get_runner(record.artifact).encode(record.result)
+        fp = fingerprint(
+            record.artifact,
+            prov.get("spec_fingerprint"),
+            prov.get("engine_fingerprint"),
+            prov.get("seed"),
+            prov.get("threads"),
+            prov.get("repetitions"),
+            prov.get("jitter"),
+            prov.get("workloads"),
+            payload,
+        )
+        return f"{_safe_name(record.artifact)}-{fp}"
+
+    def record_relpath(self, record: RunRecord, run_id: str | None = None) -> str:
+        # Accepting a precomputed run_id avoids re-encoding the payload
+        # (run ids hash the full encoded result).
+        run_id = run_id if run_id is not None else self.run_id_for(record)
+        return f"results/{_safe_name(record.artifact)}/{run_id}.json"
+
+    def append(self, record: RunRecord) -> IndexEntry:
+        """Persist one record and index it; returns the index entry."""
+        prov = record.provenance
+        run_id = self.run_id_for(record)
+        relpath = self.record_relpath(record, run_id)
+        _atomic_write_text(self.root / relpath, record.to_json(indent=1))
+        entry = IndexEntry(
+            run_id=run_id,
+            artifact=record.artifact,
+            path=relpath,
+            spec_fingerprint=str(prov.get("spec_fingerprint", "")),
+            engine_fingerprint=str(prov.get("engine_fingerprint", "")),
+            seed=int(prov.get("seed", 0)),
+            cache=dict(prov.get("cache", {})),
+            duration_s=float(prov.get("duration_s", 0.0)),
+            arguments=dict(prov.get("arguments", {})),
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(entry.to_line() + "\n")
+        return entry
+
+    def entries(self) -> Iterator[IndexEntry]:
+        """All well-formed index lines, oldest first."""
+        if not self.index_path.exists():
+            return
+        with open(self.index_path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    if data.get("schema") != SCHEMA_VERSION:
+                        continue
+                    data.pop("schema")
+                    yield IndexEntry(**data)
+                except (ValueError, TypeError):
+                    continue  # torn tail line from a crash mid-append
+
+
+class ResultStore:
+    """Persistent, fingerprint-keyed store for session measurements.
+
+    Three roles in one root directory:
+
+    * a **solo/co-run cache** (:meth:`get_solo` / :meth:`put_solo`,
+      :meth:`get_corun` / :meth:`put_corun`) that a
+      :class:`~repro.session.session.Session` reads through and writes
+      behind, making a cold process with a warm store as fast as a warm
+      in-memory session;
+    * a **record sink** (:meth:`record`) streaming every executed
+      artifact into ``results/`` with an append-only ``index.jsonl``;
+    * a **query API** (:meth:`query`, :meth:`latest`, :meth:`load`)
+      over that index.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.sink = RecordSink(self.root)
+        self._check_schema()
+
+    def _check_schema(self) -> None:
+        meta_path = self.root / "store.json"
+        meta = _read_json(meta_path)
+        if meta is None:
+            _atomic_write_text(
+                meta_path,
+                json.dumps(
+                    {"schema": SCHEMA_VERSION, "tool": "repro-interference"},
+                    indent=1,
+                ),
+            )
+            return
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise StoreError(
+                f"store at {self.root} has schema {meta.get('schema')!r}; "
+                f"this build reads schema {SCHEMA_VERSION}"
+            )
+
+    # -- solo / co-run cache -------------------------------------------------
+
+    def _solo_path(self, engine_fp: str, workload: str, threads: int) -> Path:
+        keyfp = fingerprint("solo", engine_fp, workload, threads)
+        return (
+            self.root
+            / "solo"
+            / engine_fp
+            / f"{_safe_name(workload)}-t{threads}-{keyfp}.json"
+        )
+
+    def _corun_path(
+        self, engine_fp: str, fg: str, bg: str, fg_threads: int, bg_threads: int
+    ) -> Path:
+        keyfp = fingerprint("corun", engine_fp, fg, bg, fg_threads, bg_threads)
+        return (
+            self.root
+            / "corun"
+            / engine_fp
+            / f"{_safe_name(fg)}-vs-{_safe_name(bg)}-{fg_threads}x{bg_threads}-{keyfp}.json"
+        )
+
+    @staticmethod
+    def _load_entry(path: Path, kind: str, key: dict[str, Any]) -> Any | None:
+        data = _read_json(path)
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != SCHEMA_VERSION
+            or data.get("kind") != kind
+            or data.get("key") != key
+        ):
+            return None  # missing, torn, foreign-schema, or key collision
+        return data["result"]
+
+    def get_solo(
+        self, engine_fp: str, workload: str, threads: int
+    ) -> SoloRunResult | None:
+        key = {"engine_fingerprint": engine_fp, "workload": workload, "threads": threads}
+        payload = self._load_entry(
+            self._solo_path(engine_fp, workload, threads), "solo", key
+        )
+        if payload is None:
+            return None
+        try:
+            return decode_solo(payload)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None  # corrupt-but-parseable entry: a miss, never data
+
+    def put_solo(
+        self, engine_fp: str, workload: str, threads: int, result: SoloRunResult
+    ) -> None:
+        _atomic_write_text(
+            self._solo_path(engine_fp, workload, threads),
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "kind": "solo",
+                    "key": {
+                        "engine_fingerprint": engine_fp,
+                        "workload": workload,
+                        "threads": threads,
+                    },
+                    "result": encode_solo(result),
+                }
+            ),
+        )
+
+    def get_corun(
+        self, engine_fp: str, fg: str, bg: str, fg_threads: int, bg_threads: int
+    ) -> CoRunResult | None:
+        key = {
+            "engine_fingerprint": engine_fp,
+            "fg": fg,
+            "bg": bg,
+            "fg_threads": fg_threads,
+            "bg_threads": bg_threads,
+        }
+        payload = self._load_entry(
+            self._corun_path(engine_fp, fg, bg, fg_threads, bg_threads), "corun", key
+        )
+        if payload is None:
+            return None
+        try:
+            return decode_corun(payload)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None  # corrupt-but-parseable entry: a miss, never data
+
+    def put_corun(
+        self,
+        engine_fp: str,
+        fg: str,
+        bg: str,
+        fg_threads: int,
+        bg_threads: int,
+        result: CoRunResult,
+    ) -> None:
+        _atomic_write_text(
+            self._corun_path(engine_fp, fg, bg, fg_threads, bg_threads),
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "kind": "corun",
+                    "key": {
+                        "engine_fingerprint": engine_fp,
+                        "fg": fg,
+                        "bg": bg,
+                        "fg_threads": fg_threads,
+                        "bg_threads": bg_threads,
+                    },
+                    "result": encode_corun(result),
+                }
+            ),
+        )
+
+    # -- record sink + query -------------------------------------------------
+
+    def record(self, record: RunRecord) -> IndexEntry:
+        """Stream one executed artifact into the store."""
+        return self.sink.append(record)
+
+    def run_id_for(self, record: RunRecord) -> str:
+        return self.sink.run_id_for(record)
+
+    def query(
+        self,
+        *,
+        artifact: str | None = None,
+        spec_fp: str | None = None,
+        engine_fp: str | None = None,
+        run_id: str | None = None,
+    ) -> list[IndexEntry]:
+        """Index entries matching every given filter, oldest first."""
+        return [
+            e
+            for e in self.sink.entries()
+            if (artifact is None or e.artifact == artifact)
+            and (spec_fp is None or e.spec_fingerprint == spec_fp)
+            and (engine_fp is None or e.engine_fingerprint == engine_fp)
+            and (run_id is None or e.run_id == run_id)
+        ]
+
+    def load(self, entry: "IndexEntry | str") -> RunRecord:
+        """Rebuild the :class:`RunRecord` behind an index entry or run id."""
+        if isinstance(entry, str):
+            matches = self.query(run_id=entry)
+            if not matches:
+                raise StoreError(f"no record with run id {entry!r} in {self.root}")
+            entry = matches[-1]
+        path = self.root / entry.path
+        try:
+            text = path.read_text(encoding="utf-8")
+            return RunRecord.from_json(text)
+        except (OSError, ValueError, KeyError) as exc:
+            raise StoreError(f"record file missing or unreadable: {path}") from exc
+
+    def latest(self, artifact: str) -> RunRecord:
+        """The most recently streamed record of an artifact.
+
+        Canonical (default-argument) runs are preferred over nested
+        subset runs — ``latest("fig5")`` after a campaign is the full
+        matrix, not fig6's mini-benchmark sweep.
+        """
+        entries = self.query(artifact=artifact)
+        if not entries:
+            raise StoreError(f"no records for artifact {artifact!r} in {self.root}")
+        canonical = [e for e in entries if e.is_canonical]
+        return self.load((canonical or entries)[-1])
+
+    # -- inspection ----------------------------------------------------------
+
+    def describe(self) -> dict[str, int]:
+        """Entry counts per store section (the ``store ls`` summary)."""
+        def count(section: str) -> int:
+            base = self.root / section
+            return sum(1 for _ in base.rglob("*.json")) if base.exists() else 0
+
+        return {
+            "solo_entries": count("solo"),
+            "corun_entries": count("corun"),
+            "records": count("results"),
+            "index_lines": sum(1 for _ in self.sink.entries()),
+        }

@@ -11,6 +11,7 @@ from repro.session import (
     RunRecord,
     SerialExecutor,
     Session,
+    ThreadExecutor,
     get_runner,
     resolve_executor,
     runner_names,
@@ -159,16 +160,73 @@ class TestParallelExecutor:
         assert isinstance(resolve_executor(None), SerialExecutor)
         assert isinstance(resolve_executor("serial"), SerialExecutor)
         assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
         ex = ParallelExecutor(max_workers=3)
         assert resolve_executor(ex) is ex
         with pytest.raises(ExperimentError):
             resolve_executor("quantum")
         with pytest.raises(ExperimentError):
             ParallelExecutor(max_workers=0)
+        with pytest.raises(ExperimentError):
+            ThreadExecutor(max_workers=0)
 
     def test_executor_recorded_in_provenance(self):
         record = Session(make_config(), executor="parallel").run("fig5")
         assert record.provenance["executor"].startswith("process-pool")
+
+
+class TestThreadExecutor:
+    def test_thread_fig5_bit_identical_to_serial(self):
+        serial = Session(make_config()).run("fig5").result
+        threaded = Session(
+            make_config(), executor=ThreadExecutor(max_workers=3)
+        ).run("fig5").result
+        assert serial.cells == threaded.cells  # exact float equality
+
+    def test_thread_executor_name_in_provenance(self):
+        record = Session(make_config(), executor="thread").run("fig5")
+        assert record.provenance["executor"].startswith("thread-pool")
+
+
+class TestExtensionFanOut:
+    """The predictor's O(N) characterizations and the allocation
+    sweep's core splits go through the session executor."""
+
+    def test_predict_parallel_bit_identical_to_serial(self):
+        cfg = dict(workloads=("G-CC", "fotonik3d", "swaptions"))
+        serial = Session(make_config(**cfg)).run("predict").result
+        threaded = Session(
+            make_config(**cfg), executor=ThreadExecutor(3)
+        ).run("predict").result
+        pooled = Session(
+            make_config(**cfg), executor=ParallelExecutor(2)
+        ).run("predict").result
+        assert serial.pressure == threaded.pressure == pooled.pressure
+        assert serial.scores == threaded.scores == pooled.scores
+
+    def test_allocation_parallel_bit_identical_to_serial(self):
+        cfg = dict(workloads=("G-CC", "fotonik3d"))
+        serial = Session(make_config(**cfg)).run("allocation").result
+        threaded = Session(
+            make_config(**cfg), executor=ThreadExecutor(3)
+        ).run("allocation").result
+        pooled = Session(
+            make_config(**cfg), executor=ParallelExecutor(2)
+        ).run("allocation").result
+        assert serial.points == threaded.points == pooled.points
+        assert len(serial.points) == 7  # the paper's 8-core socket: 1+7 ... 7+1
+
+    def test_allocation_fanout_populates_corun_cache(self):
+        session = Session(
+            make_config(workloads=("G-CC", "fotonik3d"), jitter=0.0),
+            executor=ThreadExecutor(3),
+        )
+        session.run("allocation")
+        misses = session.stats.corun_misses
+        assert misses >= 7
+        # Re-running a split's co-run is now a pure cache hit.
+        session.co_run("G-CC", "fotonik3d", threads=2, bg_threads=6)
+        assert session.stats.corun_misses == misses
 
 
 class TestRunRecord:
