@@ -46,6 +46,13 @@ to serial), persist across processes with
 artifact with ``session.run_all()`` / ``repro run-all --store DIR``,
 or keep using the historical ``run_*`` wrappers — they delegate to
 the same registry.
+
+Beyond pairs, declarative :class:`Scenario` values express N-way
+consolidations, LLC-policy ablations and SMT spec variants::
+
+    res = session.run_scenario(Scenario.of("G-CC:2", "fotonik3d:2", "swaptions:2"))
+    res.normalized_time                     # fg slowdown vs solo
+    session.run_scenarios(ScenarioSet.consolidations(apps, n=3, threads=2))
 """
 
 from repro.core import (
@@ -65,9 +72,13 @@ from repro.core import (
 from repro.engine import EngineConfig, IntervalEngine
 from repro.machine import Machine, MachineSpec, xeon_e5_4650
 from repro.session import (
+    AppPlacement,
     ParallelExecutor,
     RunRecord,
     Runner,
+    Scenario,
+    ScenarioResult,
+    ScenarioSet,
     SerialExecutor,
     Session,
     ThreadExecutor,
@@ -88,6 +99,7 @@ from repro.workloads.registry import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "AppPlacement",
     "EngineConfig",
     "ExperimentConfig",
     "IntervalEngine",
@@ -95,6 +107,9 @@ __all__ = [
     "ResultStore",
     "RunRecord",
     "Runner",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSet",
     "SerialExecutor",
     "Session",
     "ThreadExecutor",

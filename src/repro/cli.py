@@ -6,10 +6,16 @@ Usage::
     repro fig2 [--workloads G-PR,G-CC] [--csv]
     repro fig5 --workloads G-CC,fotonik3d,swaptions --parallel
     repro table4
+    repro scenario run G-CC:2 fotonik3d:2 swaptions:2 --llc-policy static
+    repro scenario run G-CC:8 Stream:8 --smt     # 16 threads on 8 SMT cores
+    repro consolidate-n --workloads G-CC,fotonik3d,swaptions
     repro --store .repro-store run-all          # campaign + manifest.json
     repro --store .repro-store fig5             # warm-store single artifact
     repro --store .repro-store store ls
     repro --store .repro-store store show fig5
+    repro --store .repro-store scenario ls      # persisted N-way scenarios
+    repro --store .repro-store store gc --dry-run
+    repro store diff A/manifest.json B/manifest.json
 
 Experiment ids are artifact names in the runner registry
 (:mod:`repro.session.registry`): table1, fig2, table2, fig3, fig4,
@@ -35,9 +41,11 @@ import sys
 from pathlib import Path
 
 from repro.core import ExperimentConfig
+from repro.engine.interval import LLC_POLICIES
 from repro.errors import ReproError, StoreError
 from repro.session import (
     ParallelExecutor,
+    Scenario,
     Session,
     ThreadExecutor,
     get_runner,
@@ -45,8 +53,10 @@ from repro.session import (
 )
 from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 
-#: Non-artifact CLI commands sharing the experiment position.
-_COMMANDS = ("list", "run-all", "store")
+#: Non-artifact CLI commands sharing the experiment position
+#: ("scenario" doubles as a registered runner: bare `repro scenario`
+#: runs the default scenario, `repro scenario run ...` the subcommand).
+_COMMANDS = ("list", "run-all", "store", "scenario")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,13 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=runner_names() + list(_COMMANDS),
-        help="artifact name from the runner registry, or list / run-all / store",
+        choices=list(dict.fromkeys(runner_names() + list(_COMMANDS))),
+        help="artifact name from the runner registry, or list / run-all / store / scenario",
     )
     parser.add_argument(
         "subargs",
         nargs="*",
-        help="arguments for 'store' (ls | show <artifact-or-run-id>)",
+        help="arguments for 'store' (ls | show <artifact-or-run-id> | gc | "
+        "diff <manifest-A> <manifest-B>) and 'scenario' "
+        "(run <app[:threads]> ... | ls)",
     )
     parser.add_argument(
         "--workloads",
@@ -103,6 +115,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool size for --executor parallel/thread (default: CPU count)",
     )
     parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="tasks per worker dispatch for scenario fan-outs "
+        "(default: automatic from task and worker counts)",
+    )
+    parser.add_argument(
+        "--llc-policy",
+        choices=LLC_POLICIES,
+        default=None,
+        help="LLC sharing policy override for scenario / consolidate-n "
+        "(default: the engine's 'pressure' model)",
+    )
+    parser.add_argument(
+        "--smt",
+        action="store_true",
+        help="run scenarios on the SMT-enabled spec variant "
+        "(2 hardware threads per core)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="for 'store gc': report what would be pruned without deleting",
+    )
+    parser.add_argument(
         "--manifest",
         metavar="PATH",
         default=None,
@@ -117,7 +154,10 @@ def _list_text() -> str:
     for name in runner_names():
         runner = get_runner(name)
         lines.append(f"  {name:<12} {runner.title}")
-    lines.append("commands: run-all (campaign + manifest), store ls/show")
+    lines.append(
+        "commands: run-all (campaign + manifest), store ls/show/gc/diff, "
+        "scenario run/ls"
+    )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
     return "\n".join(lines)
@@ -132,20 +172,38 @@ def _resolve_executor_arg(args: argparse.Namespace):
     return None
 
 
-def _store_command(args: argparse.Namespace) -> int:
-    """``repro store ls`` / ``repro store show <artifact-or-run-id>``."""
-    from repro.store import ResultStore
+def _store_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """``repro store ls / show <target> / gc [--dry-run] / diff A B``."""
+    from repro.store import (
+        ResultStore,
+        diff_manifests,
+        live_engine_fingerprints,
+        load_manifest,
+        render_diff,
+    )
 
+    sub = args.subargs[0] if args.subargs else "ls"
+    if sub == "diff":
+        # diff reads manifest files directly; no --store needed.
+        if len(args.subargs) < 3:
+            print("error: store diff needs two manifest paths", file=sys.stderr)
+            return 2
+        diff = diff_manifests(
+            load_manifest(args.subargs[1]), load_manifest(args.subargs[2])
+        )
+        print(render_diff(diff))
+        return 0 if not (diff["changed"] or diff["only_in_a"] or diff["only_in_b"]) else 1
     if args.store is None:
         print("error: 'store' requires --store DIR", file=sys.stderr)
         return 2
-    sub = args.subargs[0] if args.subargs else "ls"
     store = ResultStore(args.store)
     if sub == "ls":
         counts = store.describe()
         print(
             f"store {store.root}: {counts['solo_entries']} solo, "
-            f"{counts['corun_entries']} co-run, {counts['records']} record(s), "
+            f"{counts['corun_entries']} co-run, "
+            f"{counts['scenario_entries']} scenario, "
+            f"{counts['records']} record(s), "
             f"{counts['index_lines']} index line(s)"
         )
         for entry in store.query():
@@ -174,7 +232,64 @@ def _store_command(args: argparse.Namespace) -> int:
             print(json.dumps(record.result, indent=1, default=str))
         print(json.dumps(record.provenance, indent=1))
         return 0
-    print(f"error: unknown store subcommand {sub!r}; use ls or show", file=sys.stderr)
+    if sub == "gc":
+        live = live_engine_fingerprints(config.spec, config.engine_config)
+        summary = store.gc(live, dry_run=args.dry_run)
+        verb = "would prune" if summary["dry_run"] else "pruned"
+        print(
+            f"{verb} {summary['removed_entries']} cache entr(ies) in "
+            f"{len(summary['removed_dirs'])} orphaned shard(s); "
+            f"kept {summary['kept_entries']}"
+        )
+        for shard in summary["removed_dirs"]:
+            print(f"  {shard}")
+        return 0
+    print(
+        f"error: unknown store subcommand {sub!r}; use ls, show, gc or diff",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _scenario_command(args: argparse.Namespace, session: Session) -> int:
+    """``repro scenario run <app[:threads]> ...`` / ``repro scenario ls``."""
+    sub = args.subargs[0]
+    if sub == "ls":
+        if session.store is None:
+            print("error: 'scenario ls' requires --store DIR", file=sys.stderr)
+            return 2
+        entries = session.store.scenarios()
+        print(f"{len(entries)} persisted N-way scenario(s) in {session.store.root}")
+        for e in entries:
+            apps = "+".join(f"{name}:{threads}" for name, threads in e["scenario"]["apps"])
+            policy = e["scenario"]["llc_policy"] or "default"
+            smt = "on" if e["scenario"]["smt"] else "off"
+            print(
+                f"  {apps:<44} llc={policy:<8} smt={smt} "
+                f"engine={e['engine_fingerprint']}"
+            )
+        return 0
+    if sub == "run":
+        if len(args.subargs) < 2:
+            print(
+                "error: scenario run needs placements, e.g. "
+                "scenario run G-CC:2 fotonik3d:2 swaptions:2",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = Scenario.of(
+            *args.subargs[1:],
+            threads=args.threads,
+            llc_policy=args.llc_policy,
+            smt=args.smt,
+        )
+        record = session.run("scenario", scenario=scenario)
+        print(get_runner("scenario").render(record.result, csv=args.csv))
+        return 0
+    print(
+        f"error: unknown scenario subcommand {sub!r}; use run or ls",
+        file=sys.stderr,
+    )
     return 2
 
 
@@ -186,16 +301,20 @@ def _run_all(args: argparse.Namespace, session: Session) -> int:
     for name, record in records.items():
         prov = record.provenance
         cache = prov["cache"]
-        served = (
-            cache.get("solo_hits", 0)
-            + cache.get("corun_hits", 0)
-            + cache.get("solo_disk_hits", 0)
-            + cache.get("corun_disk_hits", 0)
+        served = sum(
+            cache.get(k, 0)
+            for k in (
+                "solo_hits", "corun_hits", "scenario_hits",
+                "solo_disk_hits", "corun_disk_hits", "scenario_disk_hits",
+            )
+        )
+        simulated = sum(
+            cache.get(k, 0)
+            for k in ("solo_misses", "corun_misses", "scenario_misses")
         )
         print(
-            f"{name:<12} {prov['duration_s'] * 1e3:8.1f} ms   "
-            f"cache: {served} served / "
-            f"{cache.get('solo_misses', 0) + cache.get('corun_misses', 0)} simulated"
+            f"{name:<14} {prov['duration_s'] * 1e3:8.1f} ms   "
+            f"cache: {served} served / {simulated} simulated"
         )
     if args.manifest is not None:
         manifest_path = Path(args.manifest)
@@ -208,8 +327,22 @@ def _run_all(args: argparse.Namespace, session: Session) -> int:
     print(
         f"{len(records)} artifacts -> {manifest_path}   "
         f"disk hits: {stats.solo_disk_hits} solo / {stats.corun_disk_hits} co-run"
+        f" / {stats.scenario_disk_hits} scenario"
     )
     return 0
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.workloads:
+        names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+    else:
+        names = APPLICATIONS
+    return ExperimentConfig(
+        threads=args.threads,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workloads=names,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -218,32 +351,44 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         print(_list_text())
         return 0
-    if args.experiment != "store" and args.subargs:
+    if args.experiment not in ("store", "scenario") and args.subargs:
         print(
             f"error: unexpected argument(s): {' '.join(args.subargs)}",
             file=sys.stderr,
         )
         return 2
-    try:
-        if args.experiment == "store":
-            return _store_command(args)
-        if args.workloads:
-            names = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
-        else:
-            names = APPLICATIONS
-        config = ExperimentConfig(
-            threads=args.threads,
-            repetitions=args.repetitions,
-            seed=args.seed,
-            workloads=names,
+    if args.experiment not in ("scenario", "consolidate-n") and (
+        args.llc_policy is not None or args.smt
+    ):
+        # Refuse rather than silently simulate the default model: only
+        # the scenario-shaped artifacts honour these overrides.
+        print(
+            "error: --llc-policy/--smt only apply to 'scenario' and "
+            "'consolidate-n' (wrap other studies in a scenario to vary them)",
+            file=sys.stderr,
         )
+        return 2
+    try:
+        config = _build_config(args)
+        if args.experiment == "store":
+            return _store_command(args, config)
         session = Session(
-            config, executor=_resolve_executor_arg(args), store=args.store
+            config,
+            executor=_resolve_executor_arg(args),
+            store=args.store,
+            chunksize=args.chunksize,
         )
         if args.experiment == "run-all":
             return _run_all(args, session)
+        if args.experiment == "scenario" and args.subargs:
+            return _scenario_command(args, session)
         runner = get_runner(args.experiment)
-        record = session.run(args.experiment)
+        kwargs = (
+            {"llc_policy": args.llc_policy, "smt": args.smt}
+            if args.experiment in ("scenario", "consolidate-n")
+            else {}
+        )
+        record = session.run(args.experiment, **kwargs)
         print(runner.render(record.result, csv=args.csv))
     except StoreError as exc:
         print(f"store error: {exc}", file=sys.stderr)

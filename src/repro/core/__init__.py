@@ -58,6 +58,11 @@ from repro.core.minibench import (
     MiniBenchResult,
     run_minibench,
 )
+from repro.core.nway import (
+    NWayCell,
+    NWayDegradationTable,
+    run_nway_consolidation,
+)
 from repro.core.pair_bandwidth import (
     TABLE3_PAIRS,
     PairBandwidthResult,
@@ -113,6 +118,8 @@ __all__ = [
     "MINI_BENCH_BACKGROUNDS",
     "MetricQuad",
     "MiniBenchResult",
+    "NWayCell",
+    "NWayDegradationTable",
     "OFFENDERS",
     "PairBandwidthResult",
     "PairBandwidthRow",
@@ -137,6 +144,7 @@ __all__ = [
     "run_gemini_vs_offenders",
     "run_gemini_vs_stream",
     "run_minibench",
+    "run_nway_consolidation",
     "run_pair_bandwidth",
     "run_prefetch_sensitivity",
     "run_scalability",

@@ -20,15 +20,13 @@ resources (the offender's bandwidth pressure scales with its threads).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
-from repro.engine import CoRunResult, IntervalEngine
 from repro.errors import ExperimentError
 from repro.session.base import Runner
 from repro.session.registry import register_runner
-from repro.workloads.registry import get_profile
+from repro.session.scenario import Scenario
 
 
 @dataclass(frozen=True)
@@ -76,35 +74,6 @@ class AllocationSweep:
         )
 
 
-class _SplitTask(NamedTuple):
-    """One core split shipped to a pool worker (picklable primitives)."""
-
-    config: ExperimentConfig
-    fg: str
-    bg: str
-    fg_threads: int
-    bg_threads: int
-    fg_solo_runtime_s: float
-    bg_solo_rate: float
-
-
-def _split_corun(task: _SplitTask) -> CoRunResult:
-    """Co-run one split (runs inside pool workers).  The engine is
-    rebuilt from the task's spec + engine config and the per-split solo
-    references come pre-resolved from the parent session's cache, so
-    the result is bit-identical to the serial path's."""
-    config = task.config
-    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
-    return engine.co_run(
-        get_profile(task.fg),
-        get_profile(task.bg),
-        threads=task.fg_threads,
-        bg_threads=task.bg_threads,
-        fg_solo_runtime_s=task.fg_solo_runtime_s,
-        bg_solo_rate=task.bg_solo_rate,
-    )
-
-
 @register_runner(
     "allocation",
     title="asymmetric core-allocation sweep (extension)",
@@ -112,10 +81,11 @@ def _split_corun(task: _SplitTask) -> CoRunResult:
     order=140,
 )
 class AllocationSweepRunner(Runner):
-    """Core-split sweep through the session substrate; the per-split
-    solo references land in the shared cache and the independent
-    splits (7 on the paper's 8-core socket) fan out over the session
-    executor."""
+    """Core-split sweep through the session substrate: every split is a
+    2-app :class:`~repro.session.scenario.Scenario` with asymmetric
+    thread counts; the per-split solo references land in the shared
+    cache and the independent splits (7 on the paper's 8-core socket)
+    fan out over the session executor."""
 
     def execute(self, session, *, fg: str | None = None, bg: str | None = None) -> AllocationSweep:
         config = session.config
@@ -129,32 +99,12 @@ class AllocationSweepRunner(Runner):
         fg_ref_rate = session.solo_rate(fg, threads=4)
         bg_ref_rate = session.solo_rate(bg, threads=4)
         splits = [(fg_t, n_cores - fg_t) for fg_t in range(1, n_cores)]
-        if session.executor.parallel and len(splits) > 1:
-            # Resolve every split's solo references through the shared
-            # cache first, then fan the uncached co-runs out and store
-            # the workers' results back like any serial measurement.
-            todo = [
-                (fg_t, bg_t)
-                for fg_t, bg_t in splits
-                if session.cached_co_run(fg, bg, threads=fg_t, bg_threads=bg_t) is None
-            ]
-            tasks = [
-                _SplitTask(
-                    config,
-                    fg,
-                    bg,
-                    fg_t,
-                    bg_t,
-                    session.solo_runtime(fg, threads=fg_t),
-                    session.solo_rate(bg, threads=bg_t),
-                )
-                for fg_t, bg_t in todo
-            ]
-            for (fg_t, bg_t), res in zip(todo, session.executor.map(_split_corun, tasks)):
-                session.store_co_run(fg, bg, res, threads=fg_t, bg_threads=bg_t)
-        for fg_t in range(1, n_cores):
-            bg_t = n_cores - fg_t
-            res = session.co_run(fg, bg, threads=fg_t, bg_threads=bg_t)
+        scenarios = [
+            Scenario.pair(fg, bg, threads=fg_t, bg_threads=bg_t)
+            for fg_t, bg_t in splits
+        ]
+        for (fg_t, bg_t), sres in zip(splits, session.run_scenarios(scenarios)):
+            res = sres.result.to_corun()
             fg_rate = res.fg.total.instructions / res.fg.runtime_s
             bg_rate = res.bg.total.instructions / res.fg.runtime_s
             sweep.points.append(

@@ -16,16 +16,14 @@ matrix rows fan out over the session's executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
 
 from repro.core.classify import PairClass, PairVerdict, classify_pair
 from repro.core.experiment import ExperimentConfig, Jitter
 from repro.core.report import csv_table, text_heatmap
-from repro.engine import IntervalEngine
 from repro.errors import ExperimentError
 from repro.session.base import Runner
 from repro.session.registry import register_runner
-from repro.workloads.registry import get_profile
+from repro.session.scenario import ScenarioSet
 
 
 @dataclass
@@ -108,45 +106,16 @@ def cell_value(
     return measured / fg_solo_runtime_s
 
 
-class _RowTask(NamedTuple):
-    """One matrix row shipped to a worker process (picklable primitives)."""
-
-    config: ExperimentConfig
-    fg: str
-    backgrounds: tuple[str, ...]
-    fg_solo_runtime_s: float
-    bg_solo_rates: dict[str, float]
-
-
-def _consolidation_row(task: _RowTask):
-    """Co-run one foreground's row of cells (runs inside pool workers).
-
-    The engine is rebuilt from the task's spec + engine config and the
-    solo references come pre-resolved from the parent session's cache,
-    so each returned CoRunResult is bit-identical to the serial path's.
-    """
-    config = task.config
-    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
-    fg_prof = get_profile(task.fg)
-    return [
-        (
-            task.fg,
-            bg,
-            engine.co_run(
-                fg_prof,
-                get_profile(bg),
-                threads=config.threads,
-                fg_solo_runtime_s=task.fg_solo_runtime_s,
-                bg_solo_rate=task.bg_solo_rates[bg],
-            ),
-        )
-        for bg in task.backgrounds
-    ]
-
-
 @register_runner("fig5", title="625-pair consolidation heat map", order=50)
 class ConsolidationRunner(Runner):
-    """Fig 5 through the session substrate (subsets allowed)."""
+    """Fig 5 through the session substrate (subsets allowed).
+
+    The matrix is one :class:`~repro.session.scenario.ScenarioSet`
+    pairwise product; uncached cells fan out over the session executor
+    through the generic scenario machinery and land in the shared
+    co-run cache, so later artifacts (Table III, Figs 7-8) reuse them
+    like any serial measurement.
+    """
 
     def execute(
         self,
@@ -160,42 +129,23 @@ class ConsolidationRunner(Runner):
         bgs = tuple(backgrounds) if backgrounds is not None else config.workloads
         matrix = ConsolidationMatrix(workloads=tuple(dict.fromkeys(fgs + bgs)))
         threads = config.threads
-        # Solo references always resolve through the shared cache first,
-        # so serial loops and pool workers see the exact same floats.
+        # Foreground solo references resolve through the shared cache
+        # (cell_value normalizes against them); background rates are
+        # resolved on demand by the scenario planner, and only for
+        # cells the caches do not already hold.
         fg_solos = {fg: session.solo_runtime(fg, threads=threads) for fg in fgs}
-        bg_rates = {bg: session.solo_rate(bg, threads=threads) for bg in bgs}
-        if session.executor.parallel and len(fgs) > 1:
-            # Fan out only the cells the session has not co-run yet; the
-            # workers' results are stored back so later artifacts (Table
-            # III, Figs 7-8) reuse them like any serial measurement.
-            missing = {
-                fg: tuple(
-                    bg
-                    for bg in bgs
-                    if session.cached_co_run(fg, bg, threads=threads) is None
-                )
-                for fg in fgs
-            }
-            tasks = [
-                _RowTask(config, fg, missing[fg], fg_solos[fg], bg_rates)
-                for fg in fgs
-                if missing[fg]
-            ]
-            for row in session.executor.map(_consolidation_row, tasks):
-                for fg, bg, res in row:
-                    session.store_co_run(fg, bg, res, threads=threads)
-        for fg in fgs:
-            for bg in bgs:
-                res = session.co_run(fg, bg, threads=threads)
-                matrix.cells[(fg, bg)] = cell_value(
-                    config,
-                    fg,
-                    bg,
-                    fg_runtime_s=res.fg.runtime_s,
-                    fg_solo_runtime_s=fg_solos[fg],
-                    threads=threads,
-                    bg_threads=threads,
-                )
+        sweep = ScenarioSet.pairwise(fgs, bgs, threads=threads)
+        for scenario, sres in zip(sweep, session.run_scenarios(sweep)):
+            fg, bg = (p.workload for p in scenario.placements)
+            matrix.cells[(fg, bg)] = cell_value(
+                config,
+                fg,
+                bg,
+                fg_runtime_s=sres.result.fg.runtime_s,
+                fg_solo_runtime_s=fg_solos[fg],
+                threads=threads,
+                bg_threads=threads,
+            )
         return matrix
 
     def render(self, result: ConsolidationMatrix, *, csv: bool = False, **_) -> str:

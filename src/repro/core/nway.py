@@ -1,0 +1,324 @@
+"""N-way consolidation studies: the scenarios no pair API can express.
+
+Two runners built on the first-class Scenario API:
+
+* ``scenario`` — execute one declarative scenario (what ``repro
+  scenario run bfs:8 dnn:4 amg:4 --llc-policy static`` dispatches to),
+  returning a per-app outcome table that round-trips through the
+  result store like any other artifact;
+* ``consolidate-n`` — the >=3-app degradation table: every size-N
+  combination of a workload pool co-runs with each member taking a
+  turn as the measured foreground, under an optional LLC policy / SMT
+  override.  The paper stops at pairs (Fig 5); this is the ROADMAP's
+  ">2-app consolidations" axis made a first-class artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.report import ascii_table
+from repro.errors import ScenarioError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
+from repro.session.scenario import (
+    AppPlacement,
+    Scenario,
+    ScenarioResult,
+    ScenarioSet,
+)
+
+
+#: Largest default workload pool for ``consolidate-n`` (C(6,3)*3 = 60
+#: cells); explicit ``apps=`` lifts the cap.
+MAX_DEFAULT_POOL = 6
+
+
+def fit_placements(spec, pool_size: int, config_threads: int, n: int | None = None):
+    """(n, threads-per-app) fitting ``n`` placements onto a machine:
+    at most 3 apps by default, threads split so the scenario fills no
+    more than the spec's hardware-thread slots.  The single sizing rule
+    shared by :func:`default_scenario` and ``consolidate-n``."""
+    n = n if n is not None else max(1, min(3, pool_size, spec.n_slots))
+    threads = max(1, min(config_threads, spec.n_slots // n))
+    return n, threads
+
+
+def default_scenario(session, *, llc_policy: str | None = None, smt: bool = False) -> Scenario:
+    """A sensible scenario for argument-free runs (``repro scenario``,
+    ``run-all`` campaigns): the first few configured workloads, threads
+    split so the placements fit the machine's hardware threads."""
+    config = session.config
+    spec = config.spec.smt_variant() if smt else config.spec
+    n, threads = fit_placements(spec, len(config.workloads), config.threads)
+    return Scenario(
+        tuple(AppPlacement(name, threads) for name in config.workloads[:n]),
+        llc_policy=llc_policy,
+        smt=smt,
+    )
+
+
+def render_scenario_result(sres: ScenarioResult) -> str:
+    """Per-app outcome table for one executed scenario."""
+    scenario, result = sres.scenario, sres.result
+    headers = ["app", "threads", "role", "slowdown / rel. rate"]
+    rows: list[list[Any]] = [
+        [
+            scenario.placements[0].workload,
+            scenario.placements[0].threads,
+            "foreground",
+            f"{result.normalized_time:.3f}x solo time",
+        ]
+    ]
+    for place, rate in zip(scenario.placements[1:], result.bg_relative_rates):
+        rows.append(
+            [place.workload, place.threads, "background", f"{rate:.3f}x solo rate"]
+        )
+    policy = scenario.llc_policy if scenario.llc_policy is not None else "(session default)"
+    return ascii_table(
+        headers,
+        rows,
+        title=(
+            f"Scenario {scenario.label}: "
+            f"llc_policy={policy}, smt={'on' if scenario.smt else 'off'}"
+        ),
+    )
+
+
+@register_runner(
+    "scenario",
+    title="one declarative consolidation scenario (extension)",
+    artifact=False,
+    order=145,
+)
+class ScenarioRunner(Runner):
+    """Run one :class:`Scenario` through the session (CLI: ``repro
+    scenario run <app:threads> ...``); defaults to a small N-way
+    consolidation of the configured workloads."""
+
+    def execute(
+        self,
+        session,
+        *,
+        scenario: Scenario | None = None,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> ScenarioResult:
+        if scenario is None:
+            scenario = default_scenario(session, llc_policy=llc_policy, smt=smt)
+        if not scenario.cacheable:
+            raise ScenarioError(
+                "the scenario artifact requires registry-named placements "
+                "(in-band profiles cannot round-trip through the store)"
+            )
+        return session.run_scenario(scenario)
+
+    def render(self, result: ScenarioResult, **_) -> str:
+        return render_scenario_result(result)
+
+    def encode(self, result: ScenarioResult) -> dict:
+        from repro.store.codec import encode_scenario_result
+
+        return {
+            "scenario": result.scenario.payload(),
+            "result": encode_scenario_result(result.result),
+        }
+
+    def decode(self, payload: dict) -> ScenarioResult:
+        from repro.store.codec import decode_scenario_result
+
+        spec = payload["scenario"]
+        scenario = Scenario(
+            tuple(AppPlacement(name, threads) for name, threads in spec["apps"]),
+            llc_policy=spec["llc_policy"],
+            smt=spec["smt"],
+        )
+        return ScenarioResult(scenario, decode_scenario_result(payload["result"]))
+
+
+@dataclass(frozen=True)
+class NWayCell:
+    """One N-way consolidation outcome: a foreground measured against
+    N-1 looping backgrounds."""
+
+    fg: str
+    backgrounds: tuple[str, ...]
+    threads: int
+    #: Foreground co-run time / foreground solo time.
+    fg_slowdown: float
+    #: Per-background progress relative to solo, ordered like
+    #: ``backgrounds``.
+    bg_relative_rates: tuple[float, ...]
+
+
+@dataclass
+class NWayDegradationTable:
+    """The >=3-app degradation table (``consolidate-n``)."""
+
+    n: int
+    threads: int
+    llc_policy: str | None
+    smt: bool
+    cells: list[NWayCell] = field(default_factory=list)
+    #: The workload pool the combinations were drawn from.
+    pool: tuple[str, ...] = ()
+    #: Original pool size when the default cap truncated it (no silent
+    #: caps: the render reports the truncation), else ``None``.
+    pool_truncated_from: int | None = None
+
+    def cell(self, fg: str, backgrounds: tuple[str, ...]) -> NWayCell:
+        for c in self.cells:
+            if c.fg == fg and c.backgrounds == tuple(backgrounds):
+                return c
+        raise KeyError((fg, tuple(backgrounds)))
+
+    def worst(self) -> NWayCell:
+        """The most-degraded foreground across all consolidations."""
+        return max(self.cells, key=lambda c: c.fg_slowdown)
+
+    def render(self) -> str:
+        headers = ["foreground", "backgrounds", "fg slowdown", "bg rel. rates"]
+        rows = [
+            [
+                c.fg,
+                " + ".join(c.backgrounds),
+                f"{c.fg_slowdown:.3f}",
+                ", ".join(f"{r:.3f}" for r in c.bg_relative_rates),
+            ]
+            for c in self.cells
+        ]
+        policy = self.llc_policy if self.llc_policy is not None else "default"
+        table = ascii_table(
+            headers,
+            rows,
+            title=(
+                f"{self.n}-way consolidation ({self.threads} threads/app, "
+                f"llc={policy}, smt={'on' if self.smt else 'off'})"
+            ),
+        )
+        if self.pool_truncated_from is not None:
+            table += (
+                f"note: default pool capped to the first {len(self.pool)} of "
+                f"{self.pool_truncated_from} workloads; pass apps= "
+                "(or a smaller --workloads) for the full sweep\n"
+            )
+        return table
+
+
+@register_runner(
+    "consolidate-n",
+    title="N-way consolidation degradation table (extension)",
+    artifact=False,
+    order=146,
+)
+class NWayConsolidationRunner(Runner):
+    """Every size-N combination of the workload pool, each member taking
+    a turn as the measured foreground — the degradation surface the
+    pair-only API could not express.  Scenarios fan out over the
+    session executor and land in the scenario cache tier."""
+
+    def execute(
+        self,
+        session,
+        *,
+        apps: tuple[str, ...] | None = None,
+        n: int | None = None,
+        threads: int | None = None,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> NWayDegradationTable:
+        config = session.config
+        spec = config.spec.smt_variant() if smt else config.spec
+        pool = tuple(apps) if apps is not None else config.workloads
+        truncated_from = None
+        if apps is None and len(pool) > MAX_DEFAULT_POOL:
+            # The full roster would be C(25, 3) * 3 ~ 7k simulations;
+            # cap the *default* pool and say so in the render (explicit
+            # apps= sweeps whatever it is given).
+            truncated_from = len(pool)
+            pool = pool[:MAX_DEFAULT_POOL]
+        fit_n, fit_threads = fit_placements(spec, len(pool), config.threads, n)
+        n = fit_n
+        threads = threads if threads is not None else fit_threads
+        sweep = ScenarioSet.consolidations(
+            pool, n=n, threads=threads, llc_policy=llc_policy, smt=smt
+        )
+        table = NWayDegradationTable(
+            n=n, threads=threads, llc_policy=llc_policy, smt=smt,
+            pool=pool, pool_truncated_from=truncated_from,
+        )
+        for sres in session.run_scenarios(sweep):
+            table.cells.append(
+                NWayCell(
+                    fg=sres.fg,
+                    backgrounds=sres.backgrounds,
+                    threads=threads,
+                    fg_slowdown=sres.normalized_time,
+                    bg_relative_rates=tuple(sres.bg_relative_rates),
+                )
+            )
+        return table
+
+    def render(self, result: NWayDegradationTable, **_) -> str:
+        worst = result.worst()
+        return (
+            result.render()
+            + f"worst hit: {worst.fg} at {worst.fg_slowdown:.3f}x "
+            f"behind {' + '.join(worst.backgrounds)}"
+        )
+
+    def encode(self, result: NWayDegradationTable) -> dict:
+        return {
+            "n": result.n,
+            "threads": result.threads,
+            "llc_policy": result.llc_policy,
+            "smt": result.smt,
+            "pool": list(result.pool),
+            "pool_truncated_from": result.pool_truncated_from,
+            "cells": [
+                [c.fg, list(c.backgrounds), c.threads, c.fg_slowdown,
+                 list(c.bg_relative_rates)]
+                for c in result.cells
+            ],
+        }
+
+    def decode(self, payload: dict) -> NWayDegradationTable:
+        table = NWayDegradationTable(
+            n=payload["n"],
+            threads=payload["threads"],
+            llc_policy=payload["llc_policy"],
+            smt=payload["smt"],
+            pool=tuple(payload.get("pool", ())),
+            pool_truncated_from=payload.get("pool_truncated_from"),
+        )
+        table.cells = [
+            NWayCell(
+                fg=fg,
+                backgrounds=tuple(bgs),
+                threads=threads,
+                fg_slowdown=slow,
+                bg_relative_rates=tuple(rates),
+            )
+            for fg, bgs, threads, slow, rates in payload["cells"]
+        ]
+        return table
+
+
+def run_nway_consolidation(
+    apps: tuple[str, ...],
+    *,
+    n: int = 3,
+    threads: int | None = None,
+    llc_policy: str | None = None,
+    smt: bool = False,
+    config=None,
+) -> NWayDegradationTable:
+    """Run the N-way degradation table (thin wrapper over
+    ``Session.run("consolidate-n")``)."""
+    from repro.session import Session
+
+    return Session(config).run(
+        "consolidate-n", apps=apps, n=n, threads=threads,
+        llc_policy=llc_policy, smt=smt,
+    ).result

@@ -9,16 +9,15 @@ members' solo bandwidths (the bus is the shared bottleneck).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.report import ascii_table
-from repro.engine import CoRunResult, IntervalEngine
+from repro.engine import CoRunResult
 from repro.session.base import Runner
 from repro.session.registry import register_runner
+from repro.session.scenario import Scenario
 from repro.tools.pcm import PcmMemoryMonitor
 from repro.units import GB
-from repro.workloads.registry import get_profile
 
 #: Table III's five pairs (A, B); B is the background member.
 TABLE3_PAIRS: tuple[tuple[str, str], ...] = (
@@ -99,37 +98,14 @@ def _pair_row(
     )
 
 
-class _PairTask(NamedTuple):
-    """One Table III pair shipped to a worker process."""
-
-    config: ExperimentConfig
-    app_a: str
-    app_b: str
-    solo_a_runtime_s: float
-    solo_b_rate: float
-
-
-def _pair_corun(task: _PairTask) -> CoRunResult:
-    """Co-run one pair (runs inside pool workers); the parent stores the
-    result into the session cache and reduces it to a row."""
-    config = task.config
-    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
-    return engine.co_run(
-        get_profile(task.app_a),
-        get_profile(task.app_b),
-        threads=config.threads,
-        fg_solo_runtime_s=task.solo_a_runtime_s,
-        bg_solo_rate=task.solo_b_rate,
-    )
-
-
 @register_runner("table3", title="problematic-pair bandwidth", order=60)
 class PairBandwidthRunner(Runner):
     """Table III through the session substrate.
 
-    The five pair co-runs hit the session's co-run cache when Fig 5
-    already swept them; otherwise independent pairs fan out over the
-    executor.
+    Each pair is a 2-app :class:`~repro.session.scenario.Scenario`:
+    the co-runs hit the session's co-run cache when Fig 5 already swept
+    them, otherwise the uncached pairs fan out over the executor via
+    the generic scenario machinery.
     """
 
     def execute(
@@ -147,32 +123,11 @@ class PairBandwidthRunner(Runner):
             for pair in pairs
             for app in pair
         }
-        if session.executor.parallel and len(pairs) > 1:
-            # Fan out only pairs the session has not co-run yet (a prior
-            # fig5 sweep usually covered them) and store the workers'
-            # results back into the shared cache.
-            todo = [
-                (a, b)
-                for a, b in dict.fromkeys(pairs)
-                if session.cached_co_run(a, b, threads=threads) is None
-            ]
-            tasks = [
-                _PairTask(
-                    config,
-                    a,
-                    b,
-                    solos[a].runtime_s,
-                    session.solo_rate(b, threads=threads),
-                )
-                for a, b in todo
-            ]
-            for (a, b), co in zip(todo, session.executor.map(_pair_corun, tasks)):
-                session.store_co_run(a, b, co, threads=threads)
-        for a, b in pairs:
-            co = session.co_run(a, b, threads=threads)
+        scenarios = [Scenario.pair(a, b, threads=threads) for a, b in pairs]
+        for (a, b), sres in zip(pairs, session.run_scenarios(scenarios)):
             result.rows.append(
                 _pair_row(
-                    co,
+                    sres.result.to_corun(),
                     app_a=a,
                     app_b=b,
                     solo_a_bw=solos[a].metrics.avg_bandwidth_bytes,

@@ -19,16 +19,15 @@ against, on top of this repo's substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
 
 import numpy as np
 
 from repro.core.consolidation import ConsolidationMatrix
 from repro.core.experiment import ExperimentConfig, SoloCache
-from repro.engine import IntervalEngine
 from repro.errors import ExperimentError
 from repro.session.base import Runner
 from repro.session.registry import register_runner
+from repro.session.scenario import AppPlacement, Scenario
 from repro.trace.mrc import MissRatioCurve
 from repro.units import KiB, MiB
 from repro.workloads.base import CodeRegion, RegionProfile, WorkloadProfile
@@ -99,42 +98,27 @@ class SensitivityCurve:
         return float(l0 + (slowdown - s0) / (s1 - s0) * (l1 - l0))
 
 
-class _AppCharacterization(NamedTuple):
-    """One application's characterization shipped to a pool worker."""
-
-    config: ExperimentConfig
-    app: str
-    levels: tuple[float, ...]
-    app_solo_runtime_s: float
-    app_solo_rate: float
-    reporter: WorkloadProfile
-    reporter_solo_runtime_s: float
+#: Solo-rate sentinel for the balloon background: its own progress is
+#: meaningless, so the rate reference is an arbitrary large constant
+#: (it never influences the foreground's measured time).
+_BUBBLE_RATE = 1e9
 
 
-def _characterize_app(task: _AppCharacterization) -> tuple[str, tuple[float, ...], float]:
-    """Sensitivity slowdowns + reporter squeeze for one app (runs inside
-    pool workers; solo references come pre-resolved from the parent
-    session's cache, so results are bit-identical to the serial path)."""
-    config = task.config
-    engine = IntervalEngine(spec=config.spec, config=config.engine_config)
-    profile = get_profile(task.app)
-    slows: list[float] = []
-    for level in task.levels:
-        if level == 0.0:
-            slows.append(1.0)
-            continue
-        res = engine.co_run(
-            profile, bubble_profile(level), threads=config.threads,
-            fg_solo_runtime_s=task.app_solo_runtime_s, bg_solo_rate=1e9,
+def _sensitivity_scenario(
+    app_placement: AppPlacement, level: float, threads: int
+) -> Scenario:
+    """(app vs balloon-at-level) — in-band profile, hence uncacheable,
+    exactly the pre-redesign behaviour of the predictor's co-runs."""
+    balloon = bubble_profile(level)
+    return Scenario(
+        (
+            app_placement,
+            AppPlacement(
+                balloon.name, threads, profile=balloon,
+                solo_rate_override=_BUBBLE_RATE,
+            ),
         )
-        slows.append(res.normalized_time)
-    mono = tuple(np.maximum.accumulate(slows))
-    squeeze = engine.co_run(
-        task.reporter, profile, threads=config.threads,
-        fg_solo_runtime_s=task.reporter_solo_runtime_s,
-        bg_solo_rate=task.app_solo_rate,
-    ).normalized_time
-    return task.app, mono, squeeze
+    )
 
 
 @dataclass
@@ -167,33 +151,23 @@ class BubbleUpPredictor:
         """Characterize sensitivity and pressure for all apps.
 
         Pass a :class:`~repro.session.session.Session` to measure
-        through its shared engine and solo cache (the baseline solos
-        are then reused from / contributed to other artifacts); without
-        one a private engine + cache is built, as before.
+        through the declarative scenario machinery: every balloon
+        co-run becomes an (uncacheable, in-band-profile) 2-app
+        :class:`~repro.session.scenario.Scenario`, the solo baselines
+        resolve through the session's shared cache, and the
+        fine-grained cells fan out over the session executor in
+        per-app chunks.  Without a session a private engine + cache is
+        built, as before.
         """
         apps = apps if apps is not None else self.config.workloads
         threads = self.config.threads
         if session is not None:
-            engine = session.engine()
-
-            def solo_run(profile: WorkloadProfile) -> "object":
-                return session.solo(profile.name, threads=threads, profile=profile)
-
-            def rate_of(name: str) -> float:
-                return session.solo_rate(name, threads=threads)
-
-        else:
-            engine = self.config.make_engine()
-            cache = SoloCache(engine)
-
-            def solo_run(profile: WorkloadProfile) -> "object":
-                return cache.get(profile.name, threads=threads, profile=profile)
-
-            def rate_of(name: str) -> float:
-                return cache.instruction_rate(name, threads=threads)
+            return self._fit_scenarios(apps, session)
+        engine = self.config.make_engine()
+        cache = SoloCache(engine)
 
         def curve_for(profile: WorkloadProfile, name: str) -> SensitivityCurve:
-            solo = solo_run(profile)
+            solo = cache.get(profile.name, threads=threads, profile=profile)
             slows = []
             for level in self.levels:
                 if level == 0.0:
@@ -201,7 +175,7 @@ class BubbleUpPredictor:
                     continue
                 res = engine.co_run(
                     profile, bubble_profile(level), threads=threads,
-                    fg_solo_runtime_s=solo.runtime_s, bg_solo_rate=1e9,
+                    fg_solo_runtime_s=solo.runtime_s, bg_solo_rate=_BUBBLE_RATE,
                 )
                 slows.append(res.normalized_time)
             # Enforce monotonicity (tiny fixed-point wiggles).
@@ -209,29 +183,7 @@ class BubbleUpPredictor:
             return SensitivityCurve(app=name, levels=self.levels, slowdowns=tuple(mono))
 
         self._reporter_curve = curve_for(self.reporter, self.reporter.name)
-        rep_solo = solo_run(self.reporter)
-        if session is not None and session.executor.parallel and len(apps) > 1:
-            # The O(N) characterizations are independent: ship each app
-            # (with its pre-resolved solo references) to the session's
-            # executor; only the reporter curve above runs serially.
-            tasks = [
-                _AppCharacterization(
-                    config=self.config,
-                    app=app,
-                    levels=self.levels,
-                    app_solo_runtime_s=solo_run(get_profile(app)).runtime_s,
-                    app_solo_rate=rate_of(app),
-                    reporter=self.reporter,
-                    reporter_solo_runtime_s=rep_solo.runtime_s,
-                )
-                for app in apps
-            ]
-            for app, slows, squeeze in session.executor.map(_characterize_app, tasks):
-                self.sensitivity[app] = SensitivityCurve(
-                    app=app, levels=self.levels, slowdowns=slows
-                )
-                self.pressure[app] = self._reporter_curve.pressure_for(squeeze)
-            return self
+        rep_solo = cache.get(self.reporter.name, threads=threads, profile=self.reporter)
         for app in apps:
             profile = get_profile(app)
             self.sensitivity[app] = curve_for(profile, app)
@@ -239,9 +191,52 @@ class BubbleUpPredictor:
             res = engine.co_run(
                 self.reporter, profile, threads=threads,
                 fg_solo_runtime_s=rep_solo.runtime_s,
-                bg_solo_rate=rate_of(app),
+                bg_solo_rate=cache.instruction_rate(app, threads=threads),
             )
             self.pressure[app] = self._reporter_curve.pressure_for(res.normalized_time)
+        return self
+
+    def _fit_scenarios(self, apps: tuple[str, ...], session) -> "BubbleUpPredictor":
+        """Session path: one flat scenario sweep, chunked per app."""
+        threads = self.config.threads
+        reporter_seat = AppPlacement(self.reporter.name, threads, profile=self.reporter)
+        nz_levels = [lv for lv in self.levels if lv != 0.0]
+        scenarios: list[Scenario] = [
+            _sensitivity_scenario(reporter_seat, lv, threads) for lv in nz_levels
+        ]
+        for app in apps:
+            seat = AppPlacement(app, threads)
+            scenarios.extend(
+                _sensitivity_scenario(seat, lv, threads) for lv in nz_levels
+            )
+            # Pressure probe: how hard does `app` squeeze the reporter?
+            scenarios.append(Scenario((reporter_seat, seat)))
+        results = session.run_scenarios(
+            scenarios, chunksize=max(1, len(nz_levels))
+        )
+
+        def curve(name: str, head: list) -> SensitivityCurve:
+            slows, i = [], 0
+            for level in self.levels:
+                if level == 0.0:
+                    slows.append(1.0)
+                else:
+                    slows.append(head[i].normalized_time)
+                    i += 1
+            # Enforce monotonicity (tiny fixed-point wiggles).
+            mono = np.maximum.accumulate(slows)
+            return SensitivityCurve(app=name, levels=self.levels, slowdowns=tuple(mono))
+
+        k = len(nz_levels)
+        self._reporter_curve = curve(self.reporter.name, results[:k])
+        pos = k
+        for app in apps:
+            self.sensitivity[app] = curve(app, results[pos:pos + k])
+            pos += k
+            self.pressure[app] = self._reporter_curve.pressure_for(
+                results[pos].normalized_time
+            )
+            pos += 1
         return self
 
     # -- prediction -----------------------------------------------------------

@@ -6,6 +6,7 @@ from repro.engine.interval import (
     PREFETCH_COVERAGE,
     PREFETCH_HIDE,
     PREFETCH_OVERFETCH,
+    SMT_MARGINAL_THROUGHPUT,
     EngineConfig,
     IntervalEngine,
 )
@@ -15,6 +16,7 @@ from repro.engine.results import (
     BandwidthSample,
     CoRunResult,
     RegionMetrics,
+    ScenarioRunResult,
     SoloRunResult,
 )
 
@@ -30,6 +32,8 @@ __all__ = [
     "PREFETCH_HIDE",
     "PREFETCH_OVERFETCH",
     "RegionMetrics",
+    "SMT_MARGINAL_THROUGHPUT",
+    "ScenarioRunResult",
     "SoloRunResult",
     "allocate_llc",
     "resolve_bus",

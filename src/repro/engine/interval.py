@@ -33,6 +33,7 @@ from repro.engine.results import (
     AppMetrics,
     BandwidthSample,
     CoRunResult,
+    ScenarioRunResult,
     SoloRunResult,
 )
 from repro.machine.spec import MachineSpec, xeon_e5_4650
@@ -49,12 +50,19 @@ PREFETCH_OVERFETCH = 0.30
 #: (STREAM) displace light ones more than proportionally, reproducing
 #: the ~2.6x victim-MPKI inflation of Fig 7c.
 LLC_PRESSURE_EXP = 1.6
+#: SMT marginal throughput: the second hardware thread on a core adds
+#: this fraction of single-thread throughput (Sandy Bridge-class SMT
+#: yields ~1.3x aggregate).  Only active on ``hyperthreading=True``
+#: specs when the live thread count oversubscribes the physical cores.
+SMT_MARGINAL_THROUGHPUT = 0.30
 #: Fixed-point iteration limits.
 _MAX_ITER = 60
 _TOL = 1e-5
 _DAMP = 0.5
 #: Step-count safety valve.
 _MAX_STEPS = 200_000
+#: Valid LLC sharing policies (the CAT-style partitioning axis).
+LLC_POLICIES = ("pressure", "even", "static")
 
 
 @dataclass
@@ -114,7 +122,7 @@ class EngineConfig:
     use_queueing: bool = True
 
     def __post_init__(self) -> None:
-        if self.llc_policy not in {"pressure", "even", "static"}:
+        if self.llc_policy not in LLC_POLICIES:
             raise EngineError(f"unknown llc_policy {self.llc_policy!r}")
 
 
@@ -147,6 +155,20 @@ class IntervalEngine:
 
         alloc = list(alloc0) if alloc0 is not None else [llc_cap / n] * n
         rho = rho0
+        # SMT pipeline sharing: when the live threads oversubscribe the
+        # physical cores, each core time-slices its two hardware
+        # threads; the second thread adds SMT_MARGINAL_THROUGHPUT of a
+        # core's throughput, so per-thread core IPC scales down.  The
+        # scale is exactly 1.0 whenever the spec disables SMT or the
+        # threads fit the cores, keeping non-SMT results bit-identical.
+        smt_scale = 1.0
+        if spec.hyperthreading:
+            live_threads = sum(a.effective_threads() for a in apps)
+            if live_threads > spec.n_cores:
+                per_core = live_threads / spec.n_cores
+                smt_scale = (
+                    1.0 + (per_core - 1.0) * SMT_MARGINAL_THROUGHPUT
+                ) / per_core
         sols: list[_PhaseSolution] = []
         for _ in range(_MAX_ITER):
             from repro.machine.memory import queueing_latency_multiplier
@@ -179,7 +201,7 @@ class IntervalEngine:
                     1.0 + r.write_fraction + overfetch
                 )
                 sync = self.profile_sync(app)
-                cpi = 1.0 / r.ipc_core + sync + stall_lat
+                cpi = 1.0 / (r.ipc_core * smt_scale) + sync + stall_lat
                 t_eff = app.effective_threads()
                 rate = freq / cpi
                 miss_ratios.append(m)
@@ -201,7 +223,8 @@ class IntervalEngine:
                 r = app.region
                 t_eff = app.effective_threads()
                 stall = stalls_lat[i]
-                cpi = 1.0 / r.ipc_core + syncs[i] + stall
+                core_cpi = 1.0 / (r.ipc_core * smt_scale)
+                cpi = core_cpi + syncs[i] + stall
                 rate = freq / cpi
                 if bpis[i] > 0:
                     # Roofline: execution cannot outrun the bandwidth
@@ -214,7 +237,7 @@ class IntervalEngine:
                     if rate_bw < rate:
                         rate = rate_bw
                         cpi = freq / rate
-                        stall = cpi - 1.0 / r.ipc_core - syncs[i]
+                        stall = cpi - core_cpi - syncs[i]
                 new_sols.append(
                     _PhaseSolution(
                         cpi=cpi,
@@ -377,8 +400,8 @@ class IntervalEngine:
         max_dt: float = 5.0,
     ) -> SoloRunResult:
         """Run one application alone on the machine."""
-        if threads < 1 or threads > self.spec.n_cores:
-            raise EngineError(f"threads must be in [1, {self.spec.n_cores}]")
+        if threads < 1 or threads > self.spec.n_slots:
+            raise EngineError(f"threads must be in [1, {self.spec.n_slots}]")
         app = _LiveApp(
             profile=profile,
             threads=threads,
@@ -387,6 +410,76 @@ class IntervalEngine:
         )
         timeline = self._simulate([app], stop_when=0, max_dt=max_dt)
         return SoloRunResult(metrics=app.metrics, timeline=timeline)
+
+    def scenario_run(
+        self,
+        profiles: "list[WorkloadProfile] | tuple[WorkloadProfile, ...]",
+        threads: "list[int] | tuple[int, ...]",
+        *,
+        fg_solo_runtime_s: float | None = None,
+        bg_solo_rates: "list[float] | tuple[float, ...] | None" = None,
+        max_dt: float = 5.0,
+    ) -> ScenarioRunResult:
+        """The N-way measurement primitive: consolidate ``profiles[0]``
+        (the measured foreground) with any number of backgrounds.
+
+        Every background loops for as long as the foreground runs (the
+        paper's pair protocol generalized to N live applications).
+        Solo references are computed on demand; pass them in when
+        sweeping many scenarios to avoid recomputation.  ``co_run`` is
+        a thin 2-app wrapper over this, so pair scenarios are
+        bit-identical to the historical pair API.
+        """
+        if not profiles:
+            raise EngineError("a scenario needs at least one application")
+        if len(threads) != len(profiles):
+            raise EngineError(
+                f"{len(profiles)} profiles but {len(threads)} thread counts"
+            )
+        if any(t < 1 for t in threads):
+            raise EngineError("every app needs at least one thread")
+        if sum(threads) > self.spec.n_slots:
+            raise EngineError(
+                f"{'+'.join(str(t) for t in threads)} threads exceed "
+                f"{self.spec.n_slots} hardware threads"
+            )
+        if fg_solo_runtime_s is None:
+            fg_solo_runtime_s = self.solo_run(
+                profiles[0], threads=threads[0]
+            ).runtime_s
+        if bg_solo_rates is None:
+            rates = []
+            for prof, t in zip(profiles[1:], threads[1:]):
+                solo = self.solo_run(prof, threads=t)
+                rates.append(solo.metrics.total.instructions / solo.runtime_s)
+            bg_solo_rates = rates
+        if len(bg_solo_rates) != len(profiles) - 1:
+            raise EngineError(
+                f"{len(profiles) - 1} backgrounds but "
+                f"{len(bg_solo_rates)} solo rates"
+            )
+
+        apps = [
+            _LiveApp(
+                profile=prof,
+                threads=t,
+                looping=i > 0,
+                metrics=AppMetrics(name=prof.name, threads=t),
+            )
+            for i, (prof, t) in enumerate(zip(profiles, threads))
+        ]
+        timeline = self._simulate(apps, stop_when=0, max_dt=max_dt)
+        fg_runtime = apps[0].metrics.runtime_s
+        relative_rates = []
+        for app, solo_rate in zip(apps[1:], bg_solo_rates):
+            rate = app.total_instructions / fg_runtime if fg_runtime > 0 else 0.0
+            relative_rates.append(rate / solo_rate if solo_rate > 0 else 0.0)
+        return ScenarioRunResult(
+            apps=[a.metrics for a in apps],
+            fg_solo_runtime_s=fg_solo_runtime_s,
+            bg_relative_rates=relative_rates,
+            timeline=timeline,
+        )
 
     def co_run(
         self,
@@ -404,43 +497,19 @@ class IntervalEngine:
 
         ``bg_threads`` defaults to ``threads`` (the paper's symmetric
         4+4 split); asymmetric splits model core-allocation policies.
-        Solo references are computed on demand; pass them in when
-        sweeping many pairs to avoid recomputation.
+        A thin 2-app wrapper over :meth:`scenario_run` — the one code
+        path guarantees pair results equal 2-app scenario results.
         """
         bg_threads = bg_threads if bg_threads is not None else threads
         if threads < 1 or bg_threads < 1:
             raise EngineError("both apps need at least one thread")
-        if threads + bg_threads > self.spec.n_cores:
-            raise EngineError(
-                f"{threads}+{bg_threads} threads exceed {self.spec.n_cores} cores"
-            )
-        if fg_solo_runtime_s is None:
-            fg_solo_runtime_s = self.solo_run(fg, threads=threads).runtime_s
-        if bg_solo_rate is None:
-            bg_solo = self.solo_run(bg, threads=bg_threads)
-            bg_solo_rate = bg_solo.metrics.total.instructions / bg_solo.runtime_s
-
-        fg_app = _LiveApp(
-            profile=fg, threads=threads, looping=False,
-            metrics=AppMetrics(name=fg.name, threads=threads),
-        )
-        bg_app = _LiveApp(
-            profile=bg, threads=bg_threads, looping=True,
-            metrics=AppMetrics(name=bg.name, threads=bg_threads),
-        )
-        timeline = self._simulate([fg_app, bg_app], stop_when=0, max_dt=max_dt)
-        bg_rate = (
-            bg_app.total_instructions / fg_app.metrics.runtime_s
-            if fg_app.metrics.runtime_s > 0
-            else 0.0
-        )
-        return CoRunResult(
-            fg=fg_app.metrics,
-            bg=bg_app.metrics,
+        return self.scenario_run(
+            [fg, bg],
+            [threads, bg_threads],
             fg_solo_runtime_s=fg_solo_runtime_s,
-            bg_relative_rate=bg_rate / bg_solo_rate if bg_solo_rate > 0 else 0.0,
-            timeline=timeline,
-        )
+            bg_solo_rates=None if bg_solo_rate is None else [bg_solo_rate],
+            max_dt=max_dt,
+        ).to_corun()
 
     def speedup_curve(
         self, profile: WorkloadProfile, *, max_threads: int = 8

@@ -35,6 +35,11 @@ class ExperimentError(ReproError):
     """Failure while assembling or running a paper experiment."""
 
 
+class ScenarioError(ExperimentError):
+    """An invalid consolidation scenario: bad placement spec, unknown
+    LLC policy, or an identity request for an uncacheable scenario."""
+
+
 class StoreError(ReproError):
     """A persistent result-store problem: incompatible on-disk schema,
     unreadable record, or a lookup that cannot be satisfied."""

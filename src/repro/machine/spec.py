@@ -156,6 +156,11 @@ class MachineSpec:
     )
     memory: MemorySpec = field(default_factory=MemorySpec)
     prefetch: PrefetcherSpec = field(default_factory=PrefetcherSpec)
+    #: Two hardware threads per core.  The paper's platform disables
+    #: Hyper-Threading (Section III-A) and the default reproduces that;
+    #: SMT-enabled spec variants (``spec.smt_variant()``) double the
+    #: schedulable thread slots and share each core's pipeline between
+    #: its two hardware threads (see :mod:`repro.engine.interval`).
     hyperthreading: bool = False
 
     def __post_init__(self) -> None:
@@ -166,16 +171,23 @@ class MachineSpec:
         lines = {self.l1i.line_bytes, self.l1d.line_bytes, self.l2.line_bytes, self.llc.line_bytes}
         if len(lines) != 1:
             raise MachineConfigError(f"all cache levels must share one line size, got {lines}")
-        if self.hyperthreading:
-            raise MachineConfigError(
-                "the modelled platform disables Hyper-Threading (paper Section III-A); "
-                "hyperthreading=True is not supported"
-            )
 
     @property
     def line_bytes(self) -> int:
         """Cache-line size shared by every level."""
         return self.l1d.line_bytes
+
+    @property
+    def n_slots(self) -> int:
+        """Schedulable hardware-thread slots: ``n_cores`` with SMT off,
+        ``2 * n_cores`` with SMT on."""
+        return self.n_cores * 2 if self.hyperthreading else self.n_cores
+
+    def smt_variant(self) -> "MachineSpec":
+        """This machine with Hyper-Threading enabled (the ROADMAP's
+        SMT-enabled spec variant); a distinct spec fingerprint, so no
+        cache entry ever crosses between the two."""
+        return replace(self, hyperthreading=True)
 
     def scaled_llc(self, size_bytes: int) -> "MachineSpec":
         """Return a copy of this spec with a different LLC capacity.

@@ -13,7 +13,7 @@ structured :class:`RunRecord`::
     record.to_json()                      # persistable provenance
 """
 
-from repro.session.base import Runner, jsonify
+from repro.session.base import Runner, fingerprint, jsonify
 from repro.session.executors import (
     Executor,
     ParallelExecutor,
@@ -23,20 +23,32 @@ from repro.session.executors import (
 )
 from repro.session.record import RunRecord
 from repro.session.registry import get_runner, register_runner, runner_names
-from repro.session.session import CacheStats, Session, fingerprint
+from repro.session.scenario import (
+    AppPlacement,
+    Scenario,
+    ScenarioResult,
+    ScenarioSet,
+    parse_placement,
+)
+from repro.session.session import CacheStats, Session
 
 __all__ = [
+    "AppPlacement",
     "CacheStats",
     "Executor",
     "ParallelExecutor",
     "RunRecord",
     "Runner",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSet",
     "SerialExecutor",
     "Session",
     "ThreadExecutor",
     "fingerprint",
     "get_runner",
     "jsonify",
+    "parse_placement",
     "register_runner",
     "resolve_executor",
     "runner_names",

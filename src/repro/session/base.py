@@ -22,7 +22,28 @@ from __future__ import annotations
 import abc
 import dataclasses
 import enum
+import hashlib
+import json
 from typing import Any, ClassVar
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable short hash of dataclass configuration objects.
+
+    The one keying function of the whole system: in-memory session
+    caches, the on-disk store layout and scenario identities all hash
+    through here, which is what lets a result persisted by one process
+    warm any later one.
+    """
+    blob = json.dumps(
+        [
+            dataclasses.asdict(p) if hasattr(p, "__dataclass_fields__") else p
+            for p in parts
+        ],
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
 
 def jsonify(obj: Any) -> Any:

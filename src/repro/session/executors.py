@@ -39,8 +39,17 @@ class Executor(Protocol):
     name: str
     parallel: bool
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
-        """Apply ``fn`` to every task, preserving order."""
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
+    ) -> list[Any]:
+        """Apply ``fn`` to every task, preserving order.
+
+        ``chunksize`` batches tasks per worker dispatch: fine-grained
+        cells (one fig8-style co-run each) amortize pickling and
+        dispatch overhead with chunks > 1; coarse tasks keep 1 for
+        better load balancing.  Backends without per-dispatch overhead
+        ignore it.
+        """
         ...
 
 
@@ -50,7 +59,9 @@ class SerialExecutor:
     name = "serial"
     parallel = False
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
+    ) -> list[Any]:
         return [fn(t) for t in tasks]
 
 
@@ -58,7 +69,10 @@ class ParallelExecutor:
     """Process-pool fan-out over independent sweep cells.
 
     ``max_workers`` defaults to the host's CPU count.  Single-task maps
-    skip the pool entirely.
+    skip the pool entirely.  ``chunksize`` forwards to
+    :meth:`ProcessPoolExecutor.map`, batching that many tasks per IPC
+    round-trip (see ``benchmarks/bench_chunksize.py`` for the
+    measured sweet spots).
     """
 
     parallel = True
@@ -72,12 +86,14 @@ class ParallelExecutor:
     def name(self) -> str:
         return f"process-pool[{self.max_workers}]"
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
+    ) -> list[Any]:
         items: Sequence[Any] = list(tasks)
         if len(items) <= 1:
             return [fn(t) for t in items]
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
 
 
 class ThreadExecutor:
@@ -100,7 +116,12 @@ class ThreadExecutor:
     def name(self) -> str:
         return f"thread-pool[{self.max_workers}]"
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
+    ) -> list[Any]:
+        # Threads share one address space: no pickling or IPC to
+        # amortize, so chunksize is accepted for interface parity but
+        # has no effect (matching ThreadPoolExecutor semantics).
         items: Sequence[Any] = list(tasks)
         if len(items) <= 1:
             return [fn(t) for t in items]

@@ -1,0 +1,385 @@
+"""Declarative consolidation scenarios: the Session's one measurement
+vocabulary.
+
+A :class:`Scenario` is a hashable *value object* describing one
+consolidation experiment: an ordered tuple of
+:class:`AppPlacement`\\ (workload, threads) entries — the first
+placement is the measured foreground, every other application loops
+for as long as it runs (the paper's protocol generalized to N live
+apps) — plus engine overrides:
+
+* ``llc_policy`` — run under a non-default LLC sharing policy
+  (``"pressure"``/``"even"``/``"static"``, the CAT-style partitioning
+  axis of the ROADMAP);
+* ``smt`` — run on the SMT-enabled variant of the session's machine
+  spec (double the hardware-thread slots, shared core pipelines).
+
+Identity and caching
+--------------------
+
+``scenario.fingerprint`` hashes the canonical :meth:`Scenario.payload`
+through the same :func:`~repro.session.base.fingerprint` that keys
+every cache tier.  For the **2-app case** the scenario deliberately
+*reduces to the legacy co-run key*: :meth:`Scenario.corun_key` exposes
+the ``(fg, bg, fg_threads, bg_threads)`` tuple and the session routes
+pair scenarios through its historical co-run cache — which is why a
+warm store written before the scenario redesign still serves 2-app
+scenarios bit-identically, with zero re-simulation.  N >= 3 scenarios
+live in a scenario-fingerprint-keyed cache tier of their own
+(``scenario/`` in the store).
+
+Synthetic applications (the Bubble-Up predictor's tunable balloon) can
+be placed **in-band** via ``AppPlacement(profile=...)``; such
+scenarios are executable but deliberately *uncacheable* — a profile
+object is not a stable registry name, so its results never enter the
+keyed caches (exactly the pre-redesign behaviour of the predictor's
+bespoke co-runs).
+
+:class:`ScenarioSet` builds sweeps declaratively: pairwise products
+(the Fig 5 matrix), N-way consolidations (every size-N combination,
+each member taking a turn as foreground) and LLC-policy ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import combinations
+from typing import Any, Iterator, NamedTuple, Sequence
+
+from repro.core.experiment import ExperimentConfig
+from repro.engine import IntervalEngine, ScenarioRunResult
+from repro.engine.interval import LLC_POLICIES
+from repro.errors import ScenarioError
+from repro.session.base import fingerprint
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.registry import get_profile
+
+
+@dataclass(frozen=True)
+class AppPlacement:
+    """One application's seat in a scenario.
+
+    ``profile`` carries an in-band synthetic
+    :class:`~repro.workloads.base.WorkloadProfile` (e.g. the Bubble-Up
+    balloon) instead of resolving ``workload`` through the registry;
+    ``solo_rate_override`` substitutes the background's solo
+    instruction rate reference (the predictor passes a sentinel — the
+    balloon's own progress is meaningless).  Either one marks the
+    enclosing scenario uncacheable.
+    """
+
+    workload: str
+    threads: int
+    profile: WorkloadProfile | None = None
+    solo_rate_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ScenarioError("placement needs a workload name")
+        if self.threads < 1:
+            raise ScenarioError(f"{self.workload}: threads must be >= 1")
+
+    @property
+    def plain(self) -> bool:
+        """True when this placement resolves purely through the
+        workload registry (the cacheable case)."""
+        return self.profile is None and self.solo_rate_override is None
+
+    def resolve_profile(self) -> WorkloadProfile:
+        return self.profile if self.profile is not None else get_profile(self.workload)
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}:{self.threads}"
+
+
+def parse_placement(spec: str, *, default_threads: int = 4) -> AppPlacement:
+    """Parse a CLI placement spec: ``"G-CC:2"`` or bare ``"G-CC"``."""
+    name, sep, threads = spec.rpartition(":")
+    if not sep:
+        return AppPlacement(spec, default_threads)
+    try:
+        return AppPlacement(name, int(threads))
+    except ValueError:
+        raise ScenarioError(
+            f"bad placement {spec!r}; expected NAME or NAME:THREADS"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative, hashable N-way consolidation experiment."""
+
+    placements: tuple[AppPlacement, ...]
+    #: LLC sharing policy override; ``None`` keeps the session default.
+    llc_policy: str | None = None
+    #: Run on the SMT-enabled variant of the session's machine spec.
+    smt: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "placements", tuple(self.placements))
+        if not self.placements:
+            raise ScenarioError("a scenario needs at least one placement")
+        if self.llc_policy is not None and self.llc_policy not in LLC_POLICIES:
+            raise ScenarioError(
+                f"unknown llc_policy {self.llc_policy!r}; "
+                f"use one of {', '.join(LLC_POLICIES)}"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def of(
+        *specs: "str | AppPlacement",
+        threads: int = 4,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> "Scenario":
+        """Build from placement specs: ``Scenario.of("bfs:8", "dnn:4")``."""
+        placements = tuple(
+            s if isinstance(s, AppPlacement) else parse_placement(s, default_threads=threads)
+            for s in specs
+        )
+        return Scenario(placements, llc_policy=llc_policy, smt=smt)
+
+    @staticmethod
+    def pair(
+        fg: str,
+        bg: str,
+        *,
+        threads: int = 4,
+        bg_threads: int | None = None,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> "Scenario":
+        """The classic 2-app consolidation (Fig 5's cell shape)."""
+        return Scenario(
+            (
+                AppPlacement(fg, threads),
+                AppPlacement(bg, bg_threads if bg_threads is not None else threads),
+            ),
+            llc_policy=llc_policy,
+            smt=smt,
+        )
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def cacheable(self) -> bool:
+        """Only registry-named, override-free placements have a stable
+        identity under one engine fingerprint."""
+        return all(p.plain for p in self.placements)
+
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON identity (what :attr:`fingerprint` hashes and
+        the store persists as the entry key)."""
+        return {
+            "apps": [[p.workload, p.threads] for p in self.placements],
+            "llc_policy": self.llc_policy,
+            "smt": self.smt,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable short hash of the canonical payload.
+
+        Golden values are pinned by the test suite: changing the
+        payload shape invalidates every persisted scenario entry, like
+        bumping the store schema.
+        """
+        if not self.cacheable:
+            raise ScenarioError(
+                "scenarios with in-band profiles or solo overrides have no "
+                "stable fingerprint (and are never cached)"
+            )
+        return fingerprint("scenario", self.payload())
+
+    def corun_key(self) -> tuple[str, str, int, int] | None:
+        """The legacy pair key ``(fg, bg, fg_threads, bg_threads)`` when
+        this scenario *is* a classic co-run, else ``None``.
+
+        This is the read-through bridge: 2-app scenarios reduce to the
+        co-run key the pre-redesign caches used, so warm stores stay
+        bit-identical and are never re-simulated.
+        """
+        if len(self.placements) != 2 or not self.cacheable:
+            return None
+        fg, bg = self.placements
+        return (fg.workload, bg.workload, fg.threads, bg.threads)
+
+    @property
+    def label(self) -> str:
+        """Compact human identity, e.g. ``G-CC:4+Stream:4[llc=even]``."""
+        apps = "+".join(p.label for p in self.placements)
+        mods = []
+        if self.llc_policy is not None:
+            mods.append(f"llc={self.llc_policy}")
+        if self.smt:
+            mods.append("smt")
+        return apps + (f"[{','.join(mods)}]" if mods else "")
+
+    # -- derivation ---------------------------------------------------------
+
+    def with_policy(self, llc_policy: str | None) -> "Scenario":
+        return replace(self, llc_policy=llc_policy)
+
+    def with_smt(self, smt: bool = True) -> "Scenario":
+        return replace(self, smt=smt)
+
+    @property
+    def total_threads(self) -> int:
+        return sum(p.threads for p in self.placements)
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered collection of scenarios plus sweep builders."""
+
+    scenarios: tuple[Scenario, ...] = ()
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __getitem__(self, i: int) -> Scenario:
+        return self.scenarios[i]
+
+    def __add__(self, other: "ScenarioSet") -> "ScenarioSet":
+        return ScenarioSet(self.scenarios + other.scenarios)
+
+    # -- builders -----------------------------------------------------------
+
+    @staticmethod
+    def pairwise(
+        foregrounds: Sequence[str],
+        backgrounds: Sequence[str] | None = None,
+        *,
+        threads: int = 4,
+        bg_threads: int | None = None,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> "ScenarioSet":
+        """Every fg x bg product (Fig 5's 625-pair shape)."""
+        bgs = backgrounds if backgrounds is not None else foregrounds
+        return ScenarioSet(
+            tuple(
+                Scenario.pair(
+                    fg, bg, threads=threads, bg_threads=bg_threads,
+                    llc_policy=llc_policy, smt=smt,
+                )
+                for fg in foregrounds
+                for bg in bgs
+            )
+        )
+
+    @staticmethod
+    def consolidations(
+        workloads: Sequence[str],
+        *,
+        n: int = 3,
+        threads: int = 1,
+        rotate: bool = True,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> "ScenarioSet":
+        """Every size-``n`` combination of ``workloads`` as an N-way
+        consolidation; with ``rotate`` each member takes a turn as the
+        measured foreground (n scenarios per combination) — the shape
+        no pair API can express."""
+        if n < 1:
+            raise ScenarioError("n must be >= 1")
+        if n > len(workloads):
+            raise ScenarioError(
+                f"cannot pick {n} distinct apps from {len(workloads)} workloads"
+            )
+        scenarios: list[Scenario] = []
+        for combo in combinations(workloads, n):
+            rotations = (
+                [combo[i:] + combo[:i] for i in range(n)] if rotate else [combo]
+            )
+            for order in rotations:
+                scenarios.append(
+                    Scenario(
+                        tuple(AppPlacement(name, threads) for name in order),
+                        llc_policy=llc_policy,
+                        smt=smt,
+                    )
+                )
+        return ScenarioSet(tuple(scenarios))
+
+    @staticmethod
+    def policy_ablation(
+        base: Scenario,
+        policies: Sequence[str | None] = LLC_POLICIES,
+    ) -> "ScenarioSet":
+        """The same placements under each LLC sharing policy."""
+        return ScenarioSet(tuple(base.with_policy(p) for p in policies))
+
+
+@dataclass
+class ScenarioResult:
+    """A scenario plus its measured outcome (what
+    :meth:`Session.run_scenario` returns)."""
+
+    scenario: Scenario
+    result: ScenarioRunResult
+
+    @property
+    def normalized_time(self) -> float:
+        """Foreground co-run time / foreground solo time."""
+        return self.result.normalized_time
+
+    @property
+    def bg_relative_rates(self) -> list[float]:
+        return self.result.bg_relative_rates
+
+    @property
+    def fg(self) -> str:
+        return self.scenario.placements[0].workload
+
+    @property
+    def backgrounds(self) -> tuple[str, ...]:
+        return tuple(p.workload for p in self.scenario.placements[1:])
+
+
+class _ScenarioTask(NamedTuple):
+    """One scenario shipped to a pool worker (picklable primitives; solo
+    references come pre-resolved from the parent session's caches)."""
+
+    config: ExperimentConfig
+    scenario: Scenario
+    fg_solo_runtime_s: float
+    bg_solo_rates: tuple[float, ...]
+
+
+def scenario_engine_parts(config: ExperimentConfig, scenario: Scenario):
+    """(spec, engine_config) a scenario runs under, given a base config.
+
+    Shared by the session (cache keying) and the pool workers (engine
+    rebuild), so both sides resolve overrides identically.
+    """
+    spec = config.spec.smt_variant() if scenario.smt else config.spec
+    cfg = config.engine_config
+    if scenario.llc_policy is not None and scenario.llc_policy != cfg.llc_policy:
+        cfg = replace(cfg, llc_policy=scenario.llc_policy)
+    return spec, cfg
+
+
+def run_scenario_task(task: _ScenarioTask) -> ScenarioRunResult:
+    """Simulate one scenario (runs inside pool workers).
+
+    The engine is rebuilt from the task's spec + engine config with the
+    scenario's overrides applied, so worker results are bit-identical
+    to the serial path's.
+    """
+    scenario = task.scenario
+    spec, cfg = scenario_engine_parts(task.config, scenario)
+    engine = IntervalEngine(spec=spec, config=cfg)
+    return engine.scenario_run(
+        [p.resolve_profile() for p in scenario.placements],
+        [p.threads for p in scenario.placements],
+        fg_solo_runtime_s=task.fg_solo_runtime_s,
+        bg_solo_rates=list(task.bg_solo_rates),
+    )

@@ -37,30 +37,35 @@ Usage::
 
 from __future__ import annotations
 
-import hashlib
 import inspect
-import json
 import time
-from dataclasses import asdict, dataclass
-from typing import Any
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Iterable
 
 from repro.core.experiment import ExperimentConfig, Jitter
-from repro.engine import CoRunResult, EngineConfig, IntervalEngine, SoloRunResult
+from repro.engine import (
+    CoRunResult,
+    EngineConfig,
+    IntervalEngine,
+    ScenarioRunResult,
+    SoloRunResult,
+)
+from repro.machine.spec import MachineSpec
+from repro.session.base import fingerprint
 from repro.session.executors import Executor, resolve_executor
 from repro.session.record import RunRecord
 from repro.session.registry import get_runner, runner_names
+from repro.session.scenario import (
+    Scenario,
+    ScenarioResult,
+    _ScenarioTask,
+    run_scenario_task,
+    scenario_engine_parts,
+)
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.registry import get_profile
 
-
-def fingerprint(*parts: Any) -> str:
-    """Stable short hash of dataclass configuration objects."""
-    blob = json.dumps(
-        [asdict(p) if hasattr(p, "__dataclass_fields__") else p for p in parts],
-        sort_keys=True,
-        default=str,
-    )
-    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+__all__ = ["CacheStats", "Session", "fingerprint"]
 
 
 @dataclass
@@ -69,7 +74,10 @@ class CacheStats:
 
     ``*_hits`` count in-memory hits, ``*_disk_hits`` count results
     served from an attached :class:`~repro.store.store.ResultStore`
-    (read-through), and ``*_misses`` count actual simulations.
+    (read-through), and ``*_misses`` count actual simulations.  The
+    ``corun_*`` counters cover 2-app scenarios too (pair scenarios
+    bridge onto the legacy co-run key space); ``scenario_*`` counters
+    cover N >= 3 apps and SMT/policy shapes with no pair key.
     """
 
     solo_hits: int = 0
@@ -78,6 +86,9 @@ class CacheStats:
     corun_misses: int = 0
     solo_disk_hits: int = 0
     corun_disk_hits: int = 0
+    scenario_hits: int = 0
+    scenario_misses: int = 0
+    scenario_disk_hits: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(asdict(self))
@@ -128,10 +139,15 @@ class Session:
         *,
         executor: Executor | str | None = None,
         store: "Any | None" = None,
+        chunksize: int | None = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig()
         self.executor = resolve_executor(executor)
         self.stats = CacheStats()
+        #: Default chunk size for scenario fan-outs; ``None`` picks an
+        #: automatic chunk from the task and worker counts (see
+        #: :meth:`run_scenarios`).
+        self.chunksize = chunksize
         #: Every RunRecord produced by this session, in execution order.
         self.records: list[RunRecord] = []
         #: Optional persistent ResultStore: solo/co-run lookups read
@@ -141,11 +157,15 @@ class Session:
         self._engines: dict[str, IntervalEngine] = {}
         self._solos: dict[tuple[str, str, int], SoloRunResult] = {}
         self._coruns: dict[tuple[str, str, str, int, int], CoRunResult] = {}
+        #: N-way scenario cache keyed by (engine_fp, scenario fingerprint);
+        #: 2-app scenarios bridge onto ``_coruns`` instead.
+        self._scenarios: dict[tuple[str, str], ScenarioRunResult] = {}
         self._artifacts: dict[tuple[str, str], RunRecord] = {}
         # Keys promoted from disk by a peek and not yet consumed by
-        # co_run — lets the consuming lookup skip the hit counter, so
-        # one disk-served measurement is counted exactly once.
+        # co_run / run_scenario — lets the consuming lookup skip the hit
+        # counter, so one disk-served measurement is counted exactly once.
         self._disk_promoted: set[tuple[str, str, str, int, int]] = set()
+        self._scenario_promoted: set[tuple[str, str]] = set()
 
     # -- machine / engine ---------------------------------------------------
 
@@ -157,16 +177,27 @@ class Session:
     def spec_fingerprint(self) -> str:
         return fingerprint(self.spec)
 
-    def engine_fingerprint(self, engine_config: EngineConfig | None = None) -> str:
+    def engine_fingerprint(
+        self,
+        engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
+    ) -> str:
         cfg = engine_config if engine_config is not None else self.config.engine_config
-        return fingerprint(self.spec, cfg)
+        return fingerprint(spec if spec is not None else self.spec, cfg)
 
-    def engine(self, engine_config: EngineConfig | None = None) -> IntervalEngine:
-        """Memoized engine for the session spec + an engine config."""
+    def engine(
+        self,
+        engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
+    ) -> IntervalEngine:
+        """Memoized engine for a (spec, engine config) pair; both default
+        to the session's own."""
         cfg = engine_config if engine_config is not None else self.config.engine_config
-        fp = self.engine_fingerprint(cfg)
+        fp = self.engine_fingerprint(cfg, spec)
         if fp not in self._engines:
-            self._engines[fp] = IntervalEngine(spec=self.spec, config=cfg)
+            self._engines[fp] = IntervalEngine(
+                spec=spec if spec is not None else self.spec, config=cfg
+            )
         return self._engines[fp]
 
     # -- shared measurement caches -----------------------------------------
@@ -178,6 +209,7 @@ class Session:
         threads: int,
         engine_config: EngineConfig | None = None,
         profile: WorkloadProfile | None = None,
+        spec: MachineSpec | None = None,
     ) -> SoloRunResult:
         """Solo run, cached across every artifact of this session.
 
@@ -187,7 +219,7 @@ class Session:
         name, and only registry-resolved profiles are guaranteed stable
         under one engine fingerprint.
         """
-        engine_fp = self.engine_fingerprint(engine_config)
+        engine_fp = self.engine_fingerprint(engine_config, spec)
         key = (engine_fp, name, threads)
         hit = self._solos.get(key)
         if hit is not None:
@@ -201,19 +233,35 @@ class Session:
                 return disk
         self.stats.solo_misses += 1
         prof = profile if profile is not None else get_profile(name)
-        res = self.engine(engine_config).solo_run(prof, threads=threads)
+        res = self.engine(engine_config, spec).solo_run(prof, threads=threads)
         self._solos[key] = res
         if self.store is not None and profile is None:
             self.store.put_solo(engine_fp, name, threads, res)
         return res
 
-    def solo_runtime(self, name: str, *, threads: int, engine_config: EngineConfig | None = None) -> float:
+    def solo_runtime(
+        self,
+        name: str,
+        *,
+        threads: int,
+        engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
+    ) -> float:
         """Solo runtime (seconds)."""
-        return self.solo(name, threads=threads, engine_config=engine_config).runtime_s
+        return self.solo(
+            name, threads=threads, engine_config=engine_config, spec=spec
+        ).runtime_s
 
-    def solo_rate(self, name: str, *, threads: int, engine_config: EngineConfig | None = None) -> float:
+    def solo_rate(
+        self,
+        name: str,
+        *,
+        threads: int,
+        engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
+    ) -> float:
         """Solo instruction throughput (instructions / second)."""
-        res = self.solo(name, threads=threads, engine_config=engine_config)
+        res = self.solo(name, threads=threads, engine_config=engine_config, spec=spec)
         return res.metrics.total.instructions / res.runtime_s
 
     def _corun_key(
@@ -223,10 +271,11 @@ class Session:
         threads: int | None,
         bg_threads: int | None,
         engine_config: EngineConfig | None,
+        spec: MachineSpec | None = None,
     ) -> tuple[str, str, str, int, int]:
         fg_t = threads if threads is not None else self.config.threads
         bg_t = bg_threads if bg_threads is not None else fg_t
-        return (self.engine_fingerprint(engine_config), fg, bg, fg_t, bg_t)
+        return (self.engine_fingerprint(engine_config, spec), fg, bg, fg_t, bg_t)
 
     def cached_co_run(
         self,
@@ -236,6 +285,7 @@ class Session:
         threads: int | None = None,
         bg_threads: int | None = None,
         engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
     ) -> CoRunResult | None:
         """Peek the co-run caches without simulating.
 
@@ -246,7 +296,7 @@ class Session:
         the consuming :meth:`co_run` lookup does not count the same
         measurement a second time as a memory hit.
         """
-        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config, spec)
         hit = self._coruns.get(key)
         if hit is None and self.store is not None:
             hit = self.store.get_corun(key[0], fg, bg, key[3], key[4])
@@ -265,11 +315,12 @@ class Session:
         threads: int | None = None,
         bg_threads: int | None = None,
         engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
     ) -> None:
         """Insert an externally computed co-run (e.g. from a pool worker)
         into the shared cache; counted as a miss, since it was simulated."""
         self.stats.corun_misses += 1
-        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config, spec)
         self._coruns[key] = result
         if self.store is not None:
             self.store.put_corun(key[0], fg, bg, key[3], key[4], result)
@@ -282,6 +333,7 @@ class Session:
         threads: int | None = None,
         bg_threads: int | None = None,
         engine_config: EngineConfig | None = None,
+        spec: MachineSpec | None = None,
     ) -> CoRunResult:
         """Consolidation co-run, cached across every artifact.
 
@@ -291,7 +343,7 @@ class Session:
         """
         fg_t = threads if threads is not None else self.config.threads
         bg_t = bg_threads if bg_threads is not None else fg_t
-        key = self._corun_key(fg, bg, threads, bg_threads, engine_config)
+        key = self._corun_key(fg, bg, threads, bg_threads, engine_config, spec)
         hit = self._coruns.get(key)
         if hit is not None:
             if key in self._disk_promoted:
@@ -301,24 +353,260 @@ class Session:
             return hit
         # Disk tier: cached_co_run owns the lookup-and-promote logic.
         promoted = self.cached_co_run(
-            fg, bg, threads=threads, bg_threads=bg_threads, engine_config=engine_config
+            fg,
+            bg,
+            threads=threads,
+            bg_threads=bg_threads,
+            engine_config=engine_config,
+            spec=spec,
         )
         if promoted is not None:
             self._disk_promoted.discard(key)
             return promoted
         self.stats.corun_misses += 1
-        res = self.engine(engine_config).co_run(
+        res = self.engine(engine_config, spec).co_run(
             get_profile(fg),
             get_profile(bg),
             threads=fg_t,
             bg_threads=bg_t,
-            fg_solo_runtime_s=self.solo_runtime(fg, threads=fg_t, engine_config=engine_config),
-            bg_solo_rate=self.solo_rate(bg, threads=bg_t, engine_config=engine_config),
+            fg_solo_runtime_s=self.solo_runtime(
+                fg, threads=fg_t, engine_config=engine_config, spec=spec
+            ),
+            bg_solo_rate=self.solo_rate(
+                bg, threads=bg_t, engine_config=engine_config, spec=spec
+            ),
         )
         self._coruns[key] = res
         if self.store is not None:
             self.store.put_corun(key[0], fg, bg, key[3], key[4], res)
         return res
+
+    # -- scenarios ----------------------------------------------------------
+
+    def _scenario_parts(
+        self, scenario: Scenario
+    ) -> tuple[str, EngineConfig, MachineSpec | None, Scenario]:
+        """(engine_fp, engine_config, spec override, canonical scenario).
+
+        The canonical scenario collapses ``llc_policy=None`` onto the
+        *effective* engine policy, so the session default and the same
+        policy named explicitly share one cache identity — a
+        ``policy_ablation`` never re-simulates the default cell.
+        """
+        spec, cfg = scenario_engine_parts(self.config, scenario)
+        spec_override = spec if scenario.smt else None
+        canon = (
+            scenario
+            if scenario.llc_policy == cfg.llc_policy or not scenario.cacheable
+            else replace(scenario, llc_policy=cfg.llc_policy)
+        )
+        return self.engine_fingerprint(cfg, spec_override), cfg, spec_override, canon
+
+    def _scenario_solo_refs(
+        self,
+        scenario: Scenario,
+        engine_config: EngineConfig,
+        spec: MachineSpec | None,
+    ) -> tuple[float, tuple[float, ...]]:
+        """Resolve a scenario's solo references through the shared cache
+        (honouring per-placement overrides), so serial loops and pool
+        workers all see identical floats."""
+        fg = scenario.placements[0]
+        fg_runtime = self.solo(
+            fg.workload,
+            threads=fg.threads,
+            engine_config=engine_config,
+            profile=fg.profile,
+            spec=spec,
+        ).runtime_s
+        rates: list[float] = []
+        for p in scenario.placements[1:]:
+            if p.solo_rate_override is not None:
+                rates.append(p.solo_rate_override)
+                continue
+            solo = self.solo(
+                p.workload,
+                threads=p.threads,
+                engine_config=engine_config,
+                profile=p.profile,
+                spec=spec,
+            )
+            rates.append(solo.metrics.total.instructions / solo.runtime_s)
+        return fg_runtime, tuple(rates)
+
+    def cached_scenario(self, scenario: Scenario) -> ScenarioRunResult | None:
+        """Peek the scenario caches without simulating.
+
+        2-app scenarios bridge to the legacy co-run caches
+        (:meth:`cached_co_run`), so a warm store written before the
+        scenario redesign serves them unchanged; N-way scenarios use
+        the scenario-fingerprint-keyed tier.  Disk peeks promote into
+        memory and count one disk hit, exactly like co-runs.
+        """
+        if not scenario.cacheable:
+            return None
+        engine_fp, engine_config, spec, canon = self._scenario_parts(scenario)
+        pair = scenario.corun_key()
+        if pair is not None:
+            fg, bg, fg_t, bg_t = pair
+            hit = self.cached_co_run(
+                fg,
+                bg,
+                threads=fg_t,
+                bg_threads=bg_t,
+                engine_config=engine_config,
+                spec=spec,
+            )
+            return None if hit is None else ScenarioRunResult.from_corun(hit)
+        key = (engine_fp, canon.fingerprint)
+        hit = self._scenarios.get(key)
+        if hit is None and self.store is not None:
+            hit = self.store.get_scenario(engine_fp, canon)
+            if hit is not None:
+                self.stats.scenario_disk_hits += 1
+                self._scenarios[key] = hit
+                self._scenario_promoted.add(key)
+        return hit
+
+    def store_scenario_result(
+        self, scenario: Scenario, result: ScenarioRunResult
+    ) -> None:
+        """Insert an externally computed scenario result (e.g. from a
+        pool worker) into the shared caches; counted as a miss, since
+        it was simulated.  Uncacheable scenarios are ignored."""
+        if not scenario.cacheable:
+            return
+        engine_fp, engine_config, spec, canon = self._scenario_parts(scenario)
+        pair = scenario.corun_key()
+        if pair is not None:
+            fg, bg, fg_t, bg_t = pair
+            self.store_co_run(
+                fg,
+                bg,
+                result.to_corun(),
+                threads=fg_t,
+                bg_threads=bg_t,
+                engine_config=engine_config,
+                spec=spec,
+            )
+            return
+        self.stats.scenario_misses += 1
+        key = (engine_fp, canon.fingerprint)
+        self._scenarios[key] = result
+        if self.store is not None:
+            self.store.put_scenario(engine_fp, canon, result)
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        """The one measurement primitive: run a declarative scenario.
+
+        2-app scenarios route through :meth:`co_run` (same keys, same
+        caches, bit-identical results — ``co_run`` is effectively the
+        pair special case of this method).  N-way and SMT shapes run
+        through the scenario cache tier; uncacheable scenarios (in-band
+        profiles) simulate directly every time.
+        """
+        engine_fp, engine_config, spec, canon = self._scenario_parts(scenario)
+        pair = scenario.corun_key()
+        if pair is not None:
+            fg, bg, fg_t, bg_t = pair
+            co = self.co_run(
+                fg,
+                bg,
+                threads=fg_t,
+                bg_threads=bg_t,
+                engine_config=engine_config,
+                spec=spec,
+            )
+            return ScenarioResult(scenario, ScenarioRunResult.from_corun(co))
+        if not scenario.cacheable:
+            return ScenarioResult(
+                scenario, self._simulate_scenario(scenario, engine_config, spec)
+            )
+        key = (engine_fp, canon.fingerprint)
+        hit = self._scenarios.get(key)
+        if hit is not None:
+            if key in self._scenario_promoted:
+                self._scenario_promoted.discard(key)  # counted as a disk hit
+            else:
+                self.stats.scenario_hits += 1
+            return ScenarioResult(scenario, hit)
+        promoted = self.cached_scenario(scenario)
+        if promoted is not None:
+            self._scenario_promoted.discard(key)
+            return ScenarioResult(scenario, promoted)
+        self.stats.scenario_misses += 1
+        res = self._simulate_scenario(scenario, engine_config, spec)
+        self._scenarios[key] = res
+        if self.store is not None:
+            self.store.put_scenario(engine_fp, canon, res)
+        return ScenarioResult(scenario, res)
+
+    def _simulate_scenario(
+        self,
+        scenario: Scenario,
+        engine_config: EngineConfig,
+        spec: MachineSpec | None,
+    ) -> ScenarioRunResult:
+        fg_runtime, rates = self._scenario_solo_refs(scenario, engine_config, spec)
+        return self.engine(engine_config, spec).scenario_run(
+            [p.resolve_profile() for p in scenario.placements],
+            [p.threads for p in scenario.placements],
+            fg_solo_runtime_s=fg_runtime,
+            bg_solo_rates=list(rates),
+        )
+
+    def run_scenarios(
+        self,
+        scenarios: "Iterable[Scenario]",
+        *,
+        chunksize: int | None = None,
+    ) -> list[ScenarioResult]:
+        """Run many scenarios; uncached ones fan out over the executor.
+
+        Cells the caches already hold are never shipped to workers
+        (disk peeks promote them first), duplicate *cacheable*
+        scenarios are simulated once (uncacheable ones have no
+        identity to deduplicate by), and worker results are stored
+        back through the same keys the serial path uses — so the
+        returned list is bit-identical whatever the executor.  ``chunksize`` batches tasks per worker
+        dispatch; ``None`` uses the session default or an automatic
+        chunk sized from the task and worker counts (fine-grained
+        fig8-style cells amortize dispatch overhead with chunks > 1).
+        """
+        scens = list(scenarios)
+        direct: dict[int, ScenarioRunResult] = {}
+        if self.executor.parallel and len(scens) > 1:
+            tasks: list[_ScenarioTask] = []
+            task_idx: list[int] = []
+            seen: set[tuple[str, str]] = set()
+            for i, s in enumerate(scens):
+                engine_fp, engine_config, spec, canon = self._scenario_parts(s)
+                if s.cacheable:
+                    ident = (engine_fp, canon.fingerprint)
+                    if ident in seen or self.cached_scenario(s) is not None:
+                        continue
+                    seen.add(ident)
+                fg_runtime, rates = self._scenario_solo_refs(s, engine_config, spec)
+                tasks.append(_ScenarioTask(self.config, s, fg_runtime, rates))
+                task_idx.append(i)
+            if tasks:
+                if chunksize is None:
+                    chunksize = self.chunksize
+                if chunksize is None:
+                    workers = getattr(self.executor, "max_workers", 1)
+                    chunksize = max(1, min(32, len(tasks) // (workers * 4) or 1))
+                results = self.executor.map(
+                    run_scenario_task, tasks, chunksize=chunksize
+                )
+                for i, res in zip(task_idx, results):
+                    if scens[i].cacheable:
+                        self.store_scenario_result(scens[i], res)
+                    else:
+                        direct[i] = res
+        return [
+            ScenarioResult(s, direct[i]) if i in direct else self.run_scenario(s)
+            for i, s in enumerate(scens)
+        ]
 
     # -- measurement jitter -------------------------------------------------
 

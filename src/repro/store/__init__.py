@@ -43,16 +43,25 @@ readers treat torn or foreign files as misses, never as data.
 
 from repro.store.codec import (
     decode_corun,
+    decode_scenario_result,
     decode_solo,
     encode_corun,
+    encode_scenario_result,
     encode_solo,
 )
-from repro.store.manifest import build_manifest, write_manifest
+from repro.store.manifest import (
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    render_diff,
+    write_manifest,
+)
 from repro.store.store import (
     SCHEMA_VERSION,
     IndexEntry,
     RecordSink,
     ResultStore,
+    live_engine_fingerprints,
 )
 
 __all__ = [
@@ -62,8 +71,14 @@ __all__ = [
     "ResultStore",
     "build_manifest",
     "decode_corun",
+    "decode_scenario_result",
     "decode_solo",
+    "diff_manifests",
     "encode_corun",
+    "encode_scenario_result",
     "encode_solo",
+    "live_engine_fingerprints",
+    "load_manifest",
+    "render_diff",
     "write_manifest",
 ]

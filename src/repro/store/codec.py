@@ -24,6 +24,7 @@ from repro.engine.results import (
     BandwidthSample,
     CoRunResult,
     RegionMetrics,
+    ScenarioRunResult,
     SoloRunResult,
 )
 
@@ -111,5 +112,23 @@ def decode_corun(data: dict[str, Any]) -> CoRunResult:
         bg=decode_app_metrics(data["bg"]),
         fg_solo_runtime_s=data["fg_solo_runtime_s"],
         bg_relative_rate=data["bg_relative_rate"],
+        timeline=decode_timeline(data["timeline"]),
+    )
+
+
+def encode_scenario_result(res: ScenarioRunResult) -> dict[str, Any]:
+    return {
+        "apps": [encode_app_metrics(a) for a in res.apps],
+        "fg_solo_runtime_s": res.fg_solo_runtime_s,
+        "bg_relative_rates": list(res.bg_relative_rates),
+        "timeline": encode_timeline(res.timeline),
+    }
+
+
+def decode_scenario_result(data: dict[str, Any]) -> ScenarioRunResult:
+    return ScenarioRunResult(
+        apps=[decode_app_metrics(a) for a in data["apps"]],
+        fg_solo_runtime_s=data["fg_solo_runtime_s"],
+        bg_relative_rates=list(data["bg_relative_rates"]),
         timeline=decode_timeline(data["timeline"]),
     )

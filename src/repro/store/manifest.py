@@ -71,3 +71,92 @@ def write_manifest(
     manifest = build_manifest(session, store)
     _atomic_write_text(Path(path), json.dumps(manifest, indent=1))
     return manifest
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest file; raises :class:`StoreError` on problems."""
+    from repro.errors import StoreError
+
+    p = Path(path)
+    if p.is_dir():
+        p = p / "manifest.json"
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"manifest missing or unreadable: {p}") from exc
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+        raise StoreError(f"{p} is not a schema-{SCHEMA_VERSION} campaign manifest")
+    return data
+
+
+#: Artifact-row fields compared by :func:`diff_manifests`; run ids are
+#: content-addressed, so a run_id match *is* a bit-identical result.
+_DIFF_FIELDS = ("run_id", "path")
+_PROV_FIELDS = ("spec_fingerprint", "engine_fingerprint", "arguments", "seed")
+
+
+def diff_manifests(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+    """Compare two campaign manifests cell-by-cell.
+
+    Returns a structured report: artifacts present in only one
+    campaign, artifacts whose identity (content-addressed run id,
+    record path, or provenance fingerprints) changed — with the pair of
+    differing values per field — plus top-level config changes.
+    Artifacts whose compared fields all match are listed as identical.
+    """
+    arts_a = a.get("artifacts", {})
+    arts_b = b.get("artifacts", {})
+    changed: dict[str, dict[str, list[Any]]] = {}
+    identical: list[str] = []
+    for name in sorted(set(arts_a) & set(arts_b)):
+        row_a, row_b = arts_a[name], arts_b[name]
+        prov_a = row_a.get("provenance", {})
+        prov_b = row_b.get("provenance", {})
+        diffs: dict[str, list[Any]] = {}
+        for field in _DIFF_FIELDS:
+            if row_a.get(field) != row_b.get(field):
+                diffs[field] = [row_a.get(field), row_b.get(field)]
+        for field in _PROV_FIELDS:
+            if prov_a.get(field) != prov_b.get(field):
+                diffs[field] = [prov_a.get(field), prov_b.get(field)]
+        if diffs:
+            changed[name] = diffs
+        else:
+            identical.append(name)
+    config_changes = {
+        key: [a.get("config", {}).get(key), b.get("config", {}).get(key)]
+        for key in sorted(set(a.get("config", {})) | set(b.get("config", {})))
+        if a.get("config", {}).get(key) != b.get("config", {}).get(key)
+    }
+    for key in ("spec_fingerprint", "engine_fingerprint"):
+        if a.get(key) != b.get(key):
+            config_changes[key] = [a.get(key), b.get(key)]
+    return {
+        "only_in_a": sorted(set(arts_a) - set(arts_b)),
+        "only_in_b": sorted(set(arts_b) - set(arts_a)),
+        "changed": changed,
+        "identical": identical,
+        "config_changes": config_changes,
+    }
+
+
+def render_diff(diff: dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`diff_manifests` report."""
+    lines: list[str] = []
+    if diff["config_changes"]:
+        lines.append("config changes:")
+        for key, (va, vb) in sorted(diff["config_changes"].items()):
+            lines.append(f"  {key}: {va!r} -> {vb!r}")
+    for label, names in (("only in A", diff["only_in_a"]),
+                         ("only in B", diff["only_in_b"])):
+        if names:
+            lines.append(f"{label}: {', '.join(names)}")
+    for name, fields in diff["changed"].items():
+        lines.append(f"changed {name}:")
+        for field, (va, vb) in sorted(fields.items()):
+            lines.append(f"  {field}: {va!r} -> {vb!r}")
+    lines.append(
+        f"{len(diff['identical'])} identical, {len(diff['changed'])} changed, "
+        f"{len(diff['only_in_a']) + len(diff['only_in_b'])} missing"
+    )
+    return "\n".join(lines)

@@ -7,6 +7,7 @@ Layout under one store root (see the package docstring in
       store.json                  # schema version marker
       solo/<engine_fp>/<app>-t<T>-<keyfp>.json
       corun/<engine_fp>/<fg>-vs-<bg>-<FT>x<BT>-<keyfp>.json
+      scenario/<engine_fp>/<apps-slug>-<keyfp>.json   # N-way scenarios
       results/<artifact>/<run_id>.json
       index.jsonl                 # append-only record index
       manifest.json               # written by `repro run-all`
@@ -38,12 +39,20 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.engine.results import CoRunResult, SoloRunResult
+from repro.engine.results import CoRunResult, ScenarioRunResult, SoloRunResult
 from repro.errors import StoreError
+from repro.session.base import fingerprint
 from repro.session.record import RunRecord
 from repro.session.registry import get_runner
-from repro.session.session import fingerprint
-from repro.store.codec import decode_corun, decode_solo, encode_corun, encode_solo
+from repro.session.scenario import Scenario
+from repro.store.codec import (
+    decode_corun,
+    decode_scenario_result,
+    decode_solo,
+    encode_corun,
+    encode_scenario_result,
+    encode_solo,
+)
 
 #: Version of the on-disk layout; bumped on incompatible change.
 SCHEMA_VERSION = 1
@@ -72,6 +81,37 @@ def _read_json(path: Path) -> Any | None:
         return json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         return None
+
+
+def live_engine_fingerprints(spec: Any, engine_config: Any) -> set[str]:
+    """Every engine fingerprint reachable from one machine spec and
+    engine configuration — the allowlist :meth:`ResultStore.gc` keeps.
+
+    The spec and its SMT variant are crossed with every ablation state
+    of the engine config: both values of every boolean knob (derived
+    from the dataclass fields, so a newly added knob is covered
+    automatically — fig4 flips ``prefetchers_on``, the ablation
+    benches flip the rest) and every LLC policy a scenario can select.
+    Shards outside this set belong to no configuration any runner can
+    address from ``(spec, engine_config)``.
+    """
+    from dataclasses import fields, replace
+    from itertools import product
+
+    from repro.engine.interval import LLC_POLICIES
+
+    axes: dict[str, tuple[Any, ...]] = {
+        f.name: (True, False)
+        for f in fields(engine_config)
+        if isinstance(getattr(engine_config, f.name), bool)
+    }
+    axes["llc_policy"] = tuple(LLC_POLICIES)
+    fps: set[str] = set()
+    for machine in (spec, spec.smt_variant()):
+        for combo in product(*axes.values()):
+            cfg = replace(engine_config, **dict(zip(axes.keys(), combo)))
+            fps.add(fingerprint(machine, cfg))
+    return fps
 
 
 @dataclass(frozen=True)
@@ -286,6 +326,78 @@ class ResultStore:
             ),
         )
 
+    def _scenario_path(self, engine_fp: str, scenario: Scenario) -> Path:
+        keyfp = fingerprint("scenario", engine_fp, scenario.fingerprint)
+        slug = "+".join(
+            f"{_safe_name(p.workload)}.{p.threads}" for p in scenario.placements
+        )[:64]
+        return self.root / "scenario" / engine_fp / f"{slug}-{keyfp}.json"
+
+    def get_scenario(
+        self, engine_fp: str, scenario: Scenario
+    ) -> ScenarioRunResult | None:
+        """Cached N-way scenario result, or ``None``.
+
+        2-app scenarios are *not* stored here — the session bridges
+        them onto the legacy ``corun/`` section (:meth:`get_corun`), so
+        pre-redesign warm stores keep serving them unchanged.
+        """
+        key = {"engine_fingerprint": engine_fp, "scenario": scenario.payload()}
+        payload = self._load_entry(
+            self._scenario_path(engine_fp, scenario), "scenario", key
+        )
+        if payload is None:
+            return None
+        try:
+            return decode_scenario_result(payload)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None  # corrupt-but-parseable entry: a miss, never data
+
+    def put_scenario(
+        self, engine_fp: str, scenario: Scenario, result: ScenarioRunResult
+    ) -> None:
+        _atomic_write_text(
+            self._scenario_path(engine_fp, scenario),
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "kind": "scenario",
+                    "key": {
+                        "engine_fingerprint": engine_fp,
+                        "scenario": scenario.payload(),
+                    },
+                    "result": encode_scenario_result(result),
+                }
+            ),
+        )
+
+    def scenarios(self) -> list[dict[str, Any]]:
+        """Key metadata of every persisted scenario entry (``repro
+        scenario ls``): engine fingerprint, placements, overrides.
+
+        Listing parses each entry file in full (the key shares the
+        file with the encoded result), so cost scales with total entry
+        bytes; fine for the hundreds-of-entries scale this store
+        targets — a key sidecar/index is the upgrade path beyond that.
+        """
+        base = self.root / "scenario"
+        out: list[dict[str, Any]] = []
+        if not base.exists():
+            return out
+        for path in sorted(base.rglob("*.json")):
+            data = _read_json(path)
+            if (
+                not isinstance(data, dict)
+                or data.get("schema") != SCHEMA_VERSION
+                or data.get("kind") != "scenario"
+                or not isinstance(data.get("key"), dict)
+            ):
+                continue
+            entry = dict(data["key"])
+            entry["path"] = str(path.relative_to(self.root))
+            out.append(entry)
+        return out
+
     def get_corun(
         self, engine_fp: str, fg: str, bg: str, fg_threads: int, bg_threads: int
     ) -> CoRunResult | None:
@@ -387,6 +499,47 @@ class ResultStore:
         canonical = [e for e in entries if e.is_canonical]
         return self.load((canonical or entries)[-1])
 
+    # -- maintenance ---------------------------------------------------------
+
+    def gc(
+        self, live_engine_fps: "set[str] | frozenset[str]", *, dry_run: bool = False
+    ) -> dict[str, Any]:
+        """Prune cache entries whose engine fingerprint matches no known
+        configuration.
+
+        The solo/corun/scenario cache sections are sharded by engine
+        fingerprint; any shard not in ``live_engine_fps`` is
+        unreachable by every config the caller still knows (a changed
+        machine spec or engine default orphans whole shards) and is
+        removed.  Streamed records and the index are history, not
+        cache — they are never collected.  With ``dry_run`` nothing is
+        deleted; the returned summary reports what would be.
+        """
+        import shutil
+
+        removed_dirs: list[str] = []
+        removed_entries = 0
+        kept_entries = 0
+        for section in ("solo", "corun", "scenario"):
+            base = self.root / section
+            if not base.exists():
+                continue
+            for shard in sorted(p for p in base.iterdir() if p.is_dir()):
+                n = sum(1 for _ in shard.rglob("*.json"))
+                if shard.name in live_engine_fps:
+                    kept_entries += n
+                    continue
+                removed_entries += n
+                removed_dirs.append(str(shard.relative_to(self.root)))
+                if not dry_run:
+                    shutil.rmtree(shard)
+        return {
+            "removed_entries": removed_entries,
+            "kept_entries": kept_entries,
+            "removed_dirs": removed_dirs,
+            "dry_run": dry_run,
+        }
+
     # -- inspection ----------------------------------------------------------
 
     def describe(self) -> dict[str, int]:
@@ -398,6 +551,7 @@ class ResultStore:
         return {
             "solo_entries": count("solo"),
             "corun_entries": count("corun"),
+            "scenario_entries": count("scenario"),
             "records": count("results"),
             "index_lines": sum(1 for _ in self.sink.entries()),
         }

@@ -88,9 +88,13 @@ class TestMachineSpec:
         with pytest.raises(MachineConfigError):
             MachineSpec(l1d=CacheSpec("L1D", 32 * KiB, line_bytes=128))
 
-    def test_hyperthreading_rejected(self):
-        with pytest.raises(MachineConfigError):
-            MachineSpec(hyperthreading=True)
+    def test_smt_variant_doubles_slots(self):
+        spec = xeon_e5_4650()
+        assert spec.n_slots == spec.n_cores  # HT disabled by default
+        smt = spec.smt_variant()
+        assert smt.hyperthreading
+        assert smt.n_slots == 2 * spec.n_cores
+        assert spec.n_slots == spec.n_cores  # original untouched
 
     def test_scaled_llc(self):
         spec = xeon_e5_4650()
