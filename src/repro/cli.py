@@ -10,6 +10,8 @@ Usage::
     repro scenario run G-CC:8 Stream:8 --smt     # 16 threads on 8 SMT cores
     repro consolidate-n --workloads G-CC,fotonik3d,swaptions
     repro --store .repro-store run-all          # campaign + manifest.json
+    repro --store .repro-store run-all --shard 1/2   # one shard of a campaign
+    repro --store .repro-store campaign --workers 4  # multi-process campaign
     repro --store .repro-store fig5             # warm-store single artifact
     repro --store .repro-store store ls
     repro --store .repro-store store show fig5
@@ -28,8 +30,15 @@ bit-identical results.
 With ``--store DIR`` the session reads measurements through the
 persistent :class:`~repro.store.store.ResultStore` and writes fresh
 ones behind, every executed artifact is streamed into
-``DIR/results/`` + ``DIR/index.jsonl``, and ``run-all`` freezes the
-campaign into ``DIR/manifest.json``.
+``DIR/results/`` + a per-process index segment under ``DIR/index/``,
+and ``run-all`` freezes the campaign into ``DIR/manifest.json``.
+
+One store safely serves many processes: ``repro campaign --workers N``
+forks N workers that steal artifacts off the shared registry, and
+``run-all --shard I/N`` runs a deterministic slice (launch the N
+shards concurrently on one store — the index is per-process segmented
+and cache writes are lock-coordinated, so the merged campaign is
+cell-for-cell identical to a serial one).
 """
 
 from __future__ import annotations
@@ -56,7 +65,10 @@ from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 #: Non-artifact CLI commands sharing the experiment position
 #: ("scenario" doubles as a registered runner: bare `repro scenario`
 #: runs the default scenario, `repro scenario run ...` the subcommand).
-_COMMANDS = ("list", "run-all", "store", "scenario")
+_COMMANDS = ("list", "run-all", "campaign", "store", "scenario")
+
+#: Artifacts that honour the --llc-policy/--smt engine overrides.
+_SCENARIO_ARTIFACTS = ("scenario", "consolidate-n", "scenario-set")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="pool size for --executor parallel/thread (default: CPU count)",
+        help="pool size for --executor parallel/thread (default: CPU count); "
+        "for 'campaign': number of worker processes (default 2)",
     )
     parser.add_argument(
         "--chunksize",
@@ -140,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'store gc': report what would be pruned without deleting",
     )
     parser.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="for 'run-all': run only round-robin shard I of N (1-based) "
+        "of the runner registry; launch all N shards against one --store "
+        "(concurrently is fine) for a sharded campaign",
+    )
+    parser.add_argument(
         "--manifest",
         metavar="PATH",
         default=None,
@@ -155,7 +176,8 @@ def _list_text() -> str:
         runner = get_runner(name)
         lines.append(f"  {name:<12} {runner.title}")
     lines.append(
-        "commands: run-all (campaign + manifest), store ls/show/gc/diff, "
+        "commands: run-all [--shard I/N] (campaign + manifest), "
+        "campaign (multi-process run-all), store ls/show/gc/diff, "
         "scenario run/ls"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
@@ -294,10 +316,16 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
 
 
 def _run_all(args: argparse.Namespace, session: Session) -> int:
-    """Execute every registered runner and freeze the campaign manifest."""
-    from repro.store import write_manifest
+    """Execute every registered runner (or one ``--shard I/N`` slice of
+    them) and freeze the campaign manifest."""
+    from repro.store import parse_shard, shard_names, write_manifest
 
-    records = session.run_all(include_extensions=True)
+    names = None
+    if args.shard is not None:
+        index, count = parse_shard(args.shard)
+        names = shard_names(runner_names(), index, count)
+        print(f"shard {index}/{count}: {', '.join(names)}")
+    records = session.run_all(include_extensions=True, names=names)
     for name, record in records.items():
         prov = record.provenance
         cache = prov["cache"]
@@ -322,12 +350,67 @@ def _run_all(args: argparse.Namespace, session: Session) -> int:
         manifest_path = session.store.root / "manifest.json"
     else:
         manifest_path = Path("manifest.json")
-    write_manifest(session, manifest_path, session.store)
+    if args.shard is not None and session.store is not None:
+        # A shard only ran its slice: rebuild the manifest from the
+        # store's merged index so it covers every shard finished so far
+        # (the last shard's freeze covers the whole campaign).
+        from repro.store import write_manifest_from_store
+
+        manifest = write_manifest_from_store(
+            session.store,
+            session.config,
+            manifest_path,
+            executor_name=f"run-all --shard {args.shard}",
+        )
+        covered = len(manifest["artifacts"])
+        print(f"manifest covers {covered} artifact(s) persisted so far")
+    else:
+        write_manifest(session, manifest_path, session.store)
     stats = session.stats
     print(
         f"{len(records)} artifacts -> {manifest_path}   "
         f"disk hits: {stats.solo_disk_hits} solo / {stats.corun_disk_hits} co-run"
         f" / {stats.scenario_disk_hits} scenario"
+    )
+    return 0
+
+
+def _campaign_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    """``repro campaign``: fork N workers over the runner registry, all
+    sharing one store, with claim-file work stealing."""
+    from repro.store import run_campaign
+
+    if args.store is None:
+        print("error: 'campaign' requires --store DIR", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else 2
+    inner = args.executor or ("parallel" if args.parallel else None)
+    summary = run_campaign(
+        config,
+        args.store,
+        workers=workers,
+        manifest_path=args.manifest,
+        executor=inner,
+        chunksize=args.chunksize,
+    )
+    for report in summary["workers"]:
+        cache = report["cache"]
+        served = sum(v for k, v in cache.items() if k.endswith("hits"))
+        simulated = sum(v for k, v in cache.items() if k.endswith("misses"))
+        print(
+            f"worker pid={report['pid']}: {len(report['done'])} artifact(s) "
+            f"[{', '.join(report['done'])}] cache: {served} served / "
+            f"{simulated} simulated"
+        )
+    totals = summary["cache"]
+    disk = (
+        totals.get("solo_disk_hits", 0)
+        + totals.get("corun_disk_hits", 0)
+        + totals.get("scenario_disk_hits", 0)
+    )
+    print(
+        f"{len(summary['artifacts'])} artifacts -> {summary['manifest_path']}   "
+        f"{workers} worker(s), {disk} disk hit(s) across the campaign"
     )
     return 0
 
@@ -357,21 +440,32 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.experiment not in ("scenario", "consolidate-n") and (
+    if args.experiment not in _SCENARIO_ARTIFACTS and (
         args.llc_policy is not None or args.smt
     ):
         # Refuse rather than silently simulate the default model: only
         # the scenario-shaped artifacts honour these overrides.
         print(
-            "error: --llc-policy/--smt only apply to 'scenario' and "
-            "'consolidate-n' (wrap other studies in a scenario to vary them)",
+            "error: --llc-policy/--smt only apply to 'scenario', "
+            "'consolidate-n' and 'scenario-set' (wrap other studies in a "
+            "scenario to vary them)",
             file=sys.stderr,
         )
+        return 2
+    if args.shard is not None and args.experiment != "run-all":
+        print("error: --shard only applies to 'run-all'", file=sys.stderr)
+        return 2
+    if args.shard is not None and args.store is None:
+        # A shard without a shared store would freeze a silently partial
+        # manifest; sharding only makes sense against one --store DIR.
+        print("error: run-all --shard requires --store DIR", file=sys.stderr)
         return 2
     try:
         config = _build_config(args)
         if args.experiment == "store":
             return _store_command(args, config)
+        if args.experiment == "campaign":
+            return _campaign_command(args, config)
         session = Session(
             config,
             executor=_resolve_executor_arg(args),
@@ -385,7 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         runner = get_runner(args.experiment)
         kwargs = (
             {"llc_policy": args.llc_policy, "smt": args.smt}
-            if args.experiment in ("scenario", "consolidate-n")
+            if args.experiment in _SCENARIO_ARTIFACTS
             else {}
         )
         record = session.run(args.experiment, **kwargs)

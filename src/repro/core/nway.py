@@ -1,6 +1,6 @@
 """N-way consolidation studies: the scenarios no pair API can express.
 
-Two runners built on the first-class Scenario API:
+Three runners built on the first-class Scenario API:
 
 * ``scenario`` — execute one declarative scenario (what ``repro
   scenario run bfs:8 dnn:4 amg:4 --llc-policy static`` dispatches to),
@@ -11,6 +11,14 @@ Two runners built on the first-class Scenario API:
   turn as the measured foreground, under an optional LLC policy / SMT
   override.  The paper stops at pairs (Fig 5); this is the ROADMAP's
   ">2-app consolidations" axis made a first-class artifact.
+* ``scenario-set`` — a whole :class:`ScenarioSet` sweep persisted as
+  **one campaign artifact with per-cell provenance**: every cell
+  records the scenario payload, its stable fingerprint, the engine
+  fingerprint shard it caches under and which cache tier holds it
+  (pair cells bridge to ``corun/``, N-way cells to ``scenario/``).
+  The default sweep re-declares the cells Fig 5 and ``consolidate-n``
+  already simulate, so inside a campaign it costs only cache hits —
+  the sweep's identity lands in ``manifest.json`` for free.
 """
 
 from __future__ import annotations
@@ -128,13 +136,193 @@ class ScenarioRunner(Runner):
     def decode(self, payload: dict) -> ScenarioResult:
         from repro.store.codec import decode_scenario_result
 
-        spec = payload["scenario"]
-        scenario = Scenario(
-            tuple(AppPlacement(name, threads) for name, threads in spec["apps"]),
-            llc_policy=spec["llc_policy"],
-            smt=spec["smt"],
-        )
+        scenario = Scenario.from_payload(payload["scenario"])
         return ScenarioResult(scenario, decode_scenario_result(payload["result"]))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One executed sweep cell plus its persistent identity.
+
+    The provenance triple (``engine_fingerprint``, ``fingerprint``,
+    ``tier``) names exactly where this cell's result lives in any store
+    sharing the campaign's configuration — a manifest row built from
+    these cells is re-loadable measurement by measurement.
+    """
+
+    scenario: Scenario
+    #: Engine-fingerprint shard the cell caches under.
+    engine_fingerprint: str
+    #: The scenario's stable cache fingerprint.
+    fingerprint: str
+    #: ``"corun"`` (2-app bridge) or ``"scenario"`` (N-way tier).
+    tier: str
+    #: Foreground co-run time / foreground solo time.
+    fg_slowdown: float
+    #: Per-background progress relative to solo.
+    bg_relative_rates: tuple[float, ...]
+
+
+@dataclass
+class ScenarioSweep:
+    """A whole ScenarioSet sweep as one campaign artifact."""
+
+    pool: tuple[str, ...]
+    llc_policy: str | None
+    smt: bool
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def worst(self) -> SweepCell:
+        return max(self.cells, key=lambda c: c.fg_slowdown)
+
+    def by_tier(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for c in self.cells:
+            counts[c.tier] = counts.get(c.tier, 0) + 1
+        return counts
+
+    def render(self, *, top: int = 10) -> str:
+        tiers = ", ".join(f"{n} {t}" for t, n in sorted(self.by_tier().items()))
+        policy = self.llc_policy if self.llc_policy is not None else "default"
+        ranked = sorted(self.cells, key=lambda c: -c.fg_slowdown)[:top]
+        rows = [
+            [
+                c.scenario.label,
+                c.tier,
+                f"{c.fg_slowdown:.3f}",
+                c.fingerprint,
+            ]
+            for c in ranked
+        ]
+        table = ascii_table(
+            ["scenario", "tier", "fg slowdown", "cell fingerprint"],
+            rows,
+            title=(
+                f"ScenarioSet sweep: {len(self.cells)} cells ({tiers}), "
+                f"llc={policy}, smt={'on' if self.smt else 'off'} — "
+                f"{min(top, len(self.cells))} most degraded"
+            ),
+        )
+        return table
+
+
+def default_sweep(session, *, llc_policy: str | None = None, smt: bool = False) -> ScenarioSet:
+    """The argument-free ``scenario-set`` sweep: the Fig 5 pairwise
+    product plus the ``consolidate-n`` rotation set (same pools, same
+    thread fits), declared as one ScenarioSet.  Inside a ``run-all`` /
+    ``repro campaign`` pass those cells are already persisted, so the
+    sweep artifact materializes their provenance from cache hits alone.
+    """
+    config = session.config
+    spec = config.spec.smt_variant() if smt else config.spec
+    sweep = ScenarioSet.pairwise(
+        config.workloads, threads=config.threads, llc_policy=llc_policy, smt=smt
+    )
+    pool = config.workloads[:MAX_DEFAULT_POOL]
+    n, threads = fit_placements(spec, len(pool), config.threads)
+    if n >= 3:
+        sweep = sweep + ScenarioSet.consolidations(
+            pool, n=n, threads=threads, llc_policy=llc_policy, smt=smt
+        )
+    return sweep
+
+
+@register_runner(
+    "scenario-set",
+    title="persisted ScenarioSet sweep with per-cell provenance (extension)",
+    artifact=False,
+    order=147,
+)
+class ScenarioSetRunner(Runner):
+    """Persist a whole :class:`ScenarioSet` sweep as one artifact.
+
+    Cells fan out over the session executor through the shared caches;
+    every cell is recorded with the (engine fingerprint, scenario
+    fingerprint, cache tier) triple that locates its persisted result —
+    the PR 3 follow-on: a sweep is now a first-class campaign artifact,
+    not just a loop that warms caches.
+    """
+
+    def execute(
+        self,
+        session,
+        *,
+        scenarios: "ScenarioSet | tuple[Scenario, ...] | None" = None,
+        llc_policy: str | None = None,
+        smt: bool = False,
+    ) -> ScenarioSweep:
+        sweep = (
+            default_sweep(session, llc_policy=llc_policy, smt=smt)
+            if scenarios is None
+            else ScenarioSet(tuple(scenarios))
+        )
+        if not len(sweep):
+            raise ScenarioError("scenario-set needs at least one scenario")
+        for s in sweep:
+            if not s.cacheable:
+                raise ScenarioError(
+                    "scenario-set requires registry-named placements "
+                    "(in-band profiles have no stable cell identity)"
+                )
+        result = ScenarioSweep(
+            pool=session.config.workloads, llc_policy=llc_policy, smt=smt
+        )
+        for sres in session.run_scenarios(sweep):
+            engine_fp, cell_fp, tier = session.scenario_identity(sres.scenario)
+            result.cells.append(
+                SweepCell(
+                    scenario=sres.scenario,
+                    engine_fingerprint=engine_fp,
+                    fingerprint=cell_fp,
+                    tier=tier,
+                    fg_slowdown=sres.normalized_time,
+                    bg_relative_rates=tuple(sres.bg_relative_rates),
+                )
+            )
+        return result
+
+    def render(self, result: ScenarioSweep, **_) -> str:
+        worst = result.worst()
+        return (
+            result.render()
+            + f"worst hit: {worst.scenario.label} at {worst.fg_slowdown:.3f}x"
+        )
+
+    def encode(self, result: ScenarioSweep) -> dict:
+        return {
+            "pool": list(result.pool),
+            "llc_policy": result.llc_policy,
+            "smt": result.smt,
+            "cells": [
+                [
+                    c.scenario.payload(),
+                    c.engine_fingerprint,
+                    c.fingerprint,
+                    c.tier,
+                    c.fg_slowdown,
+                    list(c.bg_relative_rates),
+                ]
+                for c in result.cells
+            ],
+        }
+
+    def decode(self, payload: dict) -> ScenarioSweep:
+        return ScenarioSweep(
+            pool=tuple(payload["pool"]),
+            llc_policy=payload["llc_policy"],
+            smt=payload["smt"],
+            cells=[
+                SweepCell(
+                    scenario=Scenario.from_payload(spec),
+                    engine_fingerprint=engine_fp,
+                    fingerprint=cell_fp,
+                    tier=tier,
+                    fg_slowdown=slowdown,
+                    bg_relative_rates=tuple(rates),
+                )
+                for spec, engine_fp, cell_fp, tier, slowdown, rates in payload["cells"]
+            ],
+        )
 
 
 @dataclass(frozen=True)

@@ -43,3 +43,14 @@ class ScenarioError(ExperimentError):
 class StoreError(ReproError):
     """A persistent result-store problem: incompatible on-disk schema,
     unreadable record, or a lookup that cannot be satisfied."""
+
+
+class CampaignError(StoreError):
+    """A multi-process campaign problem: bad shard spec, a worker that
+    died mid-campaign, or artifacts missing from the shared store when
+    the manifest is frozen."""
+
+
+class StoreWarning(UserWarning):
+    """Non-fatal store condition worth surfacing: e.g. index lines from
+    a different schema version being skipped by a reader."""

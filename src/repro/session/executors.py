@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ExperimentError
@@ -92,8 +93,17 @@ class ParallelExecutor:
         items: Sequence[Any] = list(tasks)
         if len(items) <= 1:
             return [fn(t) for t in items]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        except BrokenProcessPool as exc:
+            # A worker was killed (OOM, signal) mid-sweep: surface a
+            # library error instead of the pool's opaque internal one.
+            raise ExperimentError(
+                f"a worker process died during a {len(items)}-task sweep "
+                "(out of memory or killed); retry with fewer --workers or "
+                "--executor thread"
+            ) from exc
 
 
 class ThreadExecutor:

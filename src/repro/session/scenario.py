@@ -162,6 +162,17 @@ class Scenario:
             smt=smt,
         )
 
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its canonical :meth:`payload` dict —
+        the inverse used by store round-trips (``scenario`` /
+        ``scenario-set`` record decoding)."""
+        return Scenario(
+            tuple(AppPlacement(name, threads) for name, threads in payload["apps"]),
+            llc_policy=payload.get("llc_policy"),
+            smt=bool(payload.get("smt", False)),
+        )
+
     # -- identity -----------------------------------------------------------
 
     @property
@@ -248,6 +259,19 @@ class ScenarioSet:
 
     def __add__(self, other: "ScenarioSet") -> "ScenarioSet":
         return ScenarioSet(self.scenarios + other.scenarios)
+
+    def shard(self, index: int, count: int) -> "ScenarioSet":
+        """Round-robin shard ``index``/``count`` (1-based) of this set.
+
+        The ``count`` shards are disjoint and cover every scenario —
+        the declarative primitive behind splitting one sweep across
+        campaign processes that share a store.
+        """
+        if count < 1 or not 1 <= index <= count:
+            raise ScenarioError(
+                f"bad shard {index}/{count}; need 1 <= index <= count"
+            )
+        return ScenarioSet(self.scenarios[index - 1 :: count])
 
     # -- builders -----------------------------------------------------------
 

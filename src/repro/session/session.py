@@ -434,6 +434,20 @@ class Session:
             rates.append(solo.metrics.total.instructions / solo.runtime_s)
         return fg_runtime, tuple(rates)
 
+    def scenario_identity(self, scenario: Scenario) -> tuple[str, str, str]:
+        """``(engine_fingerprint, scenario_fingerprint, cache_tier)`` —
+        the persistent identity a cacheable scenario's result lives
+        under in any store sharing this session's configuration.
+
+        ``cache_tier`` is ``"corun"`` for 2-app scenarios (they bridge
+        onto the legacy pair key space) and ``"scenario"`` for every
+        other shape.  This is the per-cell provenance the
+        ``scenario-set`` campaign artifact records.
+        """
+        engine_fp, _, _, canon = self._scenario_parts(scenario)
+        tier = "corun" if scenario.corun_key() is not None else "scenario"
+        return engine_fp, canon.fingerprint, tier
+
     def cached_scenario(self, scenario: Scenario) -> ScenarioRunResult | None:
         """Peek the scenario caches without simulating.
 
@@ -666,15 +680,22 @@ class Session:
             self.store.record(record)
         return record
 
-    def run_all(self, *, include_extensions: bool = False) -> dict[str, RunRecord]:
+    def run_all(
+        self,
+        *,
+        include_extensions: bool = False,
+        names: "Iterable[str] | None" = None,
+    ) -> dict[str, RunRecord]:
         """Run every paper artifact in paper order; returns name -> record.
 
         With ``include_extensions=True`` the registered extension
         studies (solo, insights, predict, efficiency, allocation) run
         after the paper artifacts, each with its default arguments —
-        this is what ``repro run-all`` executes for a campaign.
+        this is what ``repro run-all`` executes for a campaign.  An
+        explicit ``names`` subset runs exactly those artifacts in the
+        given order (``repro run-all --shard I/N`` hands each shard its
+        slice of the registry this way).
         """
-        return {
-            name: self.run(name)
-            for name in runner_names(artifact_only=not include_extensions)
-        }
+        if names is None:
+            names = runner_names(artifact_only=not include_extensions)
+        return {name: self.run(name) for name in names}

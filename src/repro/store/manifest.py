@@ -29,7 +29,15 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.store.store import SCHEMA_VERSION, ResultStore, _atomic_write_text
+from repro.session.base import fingerprint
+from repro.session.registry import runner_names
+from repro.store.locking import store_lock
+from repro.store.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    _atomic_write_text,
+    pick_latest,
+)
 
 
 def build_manifest(session: Any, store: ResultStore | None = None) -> dict[str, Any]:
@@ -62,6 +70,17 @@ def build_manifest(session: Any, store: ResultStore | None = None) -> dict[str, 
     }
 
 
+def _freeze(manifest: dict[str, Any], path: Path, store: ResultStore | None) -> None:
+    """Atomically write a manifest; store-attached freezes take the
+    exclusive store lock so two concurrent campaigns serialize their
+    ``manifest.json`` publishes instead of interleaving them."""
+    if store is not None:
+        with store_lock(store.root, exclusive=True):
+            _atomic_write_text(path, json.dumps(manifest, indent=1))
+    else:
+        _atomic_write_text(path, json.dumps(manifest, indent=1))
+
+
 def write_manifest(
     session: Any,
     path: str | Path,
@@ -69,7 +88,94 @@ def write_manifest(
 ) -> dict[str, Any]:
     """Build and atomically write a manifest; returns the dict."""
     manifest = build_manifest(session, store)
-    _atomic_write_text(Path(path), json.dumps(manifest, indent=1))
+    _freeze(manifest, Path(path), store)
+    return manifest
+
+
+def build_manifest_from_store(
+    store: ResultStore,
+    config: Any,
+    *,
+    executor_name: str = "campaign",
+    include_extensions: bool = True,
+) -> dict[str, Any]:
+    """Freeze a campaign manifest from the *store's* merged index.
+
+    A sharded or multi-process campaign has no single session holding
+    every record, so the manifest is rebuilt from what the store
+    actually persisted: for each registered runner, the latest
+    canonical index entry (falling back to the latest entry of any
+    shape) supplies the run id, record path and provenance; artifacts
+    with no record yet are simply absent (a partial shard writes a
+    partial manifest — the final shard's freeze covers everything).
+    Because run ids are content-addressed, the resulting manifest is
+    ``store diff``-identical to a serial campaign's whenever the cells
+    are.
+
+    The top-level ``cache`` economics sum the per-record deltas of the
+    rows included, i.e. the whole campaign's hits and misses across
+    every worker process.
+    """
+    by_artifact: dict[str, list[Any]] = {}
+    for entry in store.sink.entries():
+        by_artifact.setdefault(entry.artifact, []).append(entry)
+    artifacts: dict[str, Any] = {}
+    cache_totals: dict[str, int] = {}
+    for name in runner_names(artifact_only=not include_extensions):
+        picked = pick_latest(by_artifact.get(name, []))
+        if picked is None:
+            continue
+        record = store.load(picked)
+        artifacts[name] = {
+            "provenance": dict(record.provenance),
+            "run_id": picked.run_id,
+            "path": picked.path,
+        }
+        for key, delta in (record.provenance.get("cache") or {}).items():
+            cache_totals[key] = cache_totals.get(key, 0) + delta
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "seed": config.seed,
+            "threads": config.threads,
+            "repetitions": config.repetitions,
+            "jitter": config.jitter,
+            "workloads": list(config.workloads),
+        },
+        "spec_fingerprint": fingerprint(config.spec),
+        "engine_fingerprint": fingerprint(config.spec, config.engine_config),
+        "executor": executor_name,
+        "cache": cache_totals,
+        "artifacts": artifacts,
+    }
+
+
+def write_manifest_from_store(
+    store: ResultStore,
+    config: Any,
+    path: str | Path | None = None,
+    *,
+    executor_name: str = "campaign",
+    include_extensions: bool = True,
+) -> dict[str, Any]:
+    """Build a from-store manifest and freeze it (default:
+    ``<store>/manifest.json``).
+
+    Both the index read *and* the write happen under one exclusive
+    store lock: two concurrent freezes (e.g. two shards finishing
+    together) serialize completely, so the later publisher always
+    re-reads the index after the earlier one's records landed — a
+    stale partial manifest can never overwrite a more complete one.
+    """
+    target = Path(path) if path is not None else store.root / "manifest.json"
+    with store_lock(store.root, exclusive=True):
+        manifest = build_manifest_from_store(
+            store,
+            config,
+            executor_name=executor_name,
+            include_extensions=include_extensions,
+        )
+        _atomic_write_text(target, json.dumps(manifest, indent=1))
     return manifest
 
 

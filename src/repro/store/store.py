@@ -5,12 +5,14 @@ Layout under one store root (see the package docstring in
 
     <root>/
       store.json                  # schema version marker
+      .lock                       # advisory store lock (repro.store.locking)
       solo/<engine_fp>/<app>-t<T>-<keyfp>.json
       corun/<engine_fp>/<fg>-vs-<bg>-<FT>x<BT>-<keyfp>.json
       scenario/<engine_fp>/<apps-slug>-<keyfp>.json   # N-way scenarios
       results/<artifact>/<run_id>.json
-      index.jsonl                 # append-only record index
-      manifest.json               # written by `repro run-all`
+      index/<pid>-<token>.jsonl   # per-process index segments
+      index.jsonl                 # legacy single-file index (read-only)
+      manifest.json               # written by `repro run-all` / `repro campaign`
 
 Cache entries are content-addressed: the filename embeds a
 :func:`repro.session.session.fingerprint` of the exact cache key the
@@ -20,14 +22,22 @@ Cache entries are content-addressed: the filename embeds a
 co-runs), so a warm store can never serve a result computed under a
 different machine spec or engine configuration.
 
-Durability rules:
+Durability rules under many concurrent writer processes:
 
 * every file is written to a ``.tmp-<pid>`` sibling and published with
   :func:`os.replace`, so readers never observe a half-written payload;
 * readers treat unparseable or schema-mismatched files as cache misses
   (a crash mid-write costs a re-simulation, never a wrong number);
-* the index is append-only JSONL; a torn final line is skipped by
-  :meth:`ResultStore.query`.
+* each process appends index lines to its **own** segment file under
+  ``index/`` — no two processes ever write the same index file, so
+  interleaved or torn *non-tail* lines are impossible by construction;
+  :meth:`RecordSink.entries` merges the legacy ``index.jsonl`` (written
+  by pre-segment stores) with every segment, ordered by append
+  timestamp, and a torn final line of any file is skipped;
+* cache writers take the store lock **shared**, ``gc``'s shard pruning
+  and manifest freezes take it **exclusive**
+  (:mod:`repro.store.locking`), so a prune can never interleave with a
+  writer materializing an entry in the same shard.
 """
 
 from __future__ import annotations
@@ -35,12 +45,16 @@ from __future__ import annotations
 import json
 import os
 import re
-from dataclasses import asdict, dataclass
+import threading
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.engine.results import CoRunResult, ScenarioRunResult, SoloRunResult
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreWarning
+from repro.store.locking import store_lock
 from repro.session.base import fingerprint
 from repro.session.record import RunRecord
 from repro.session.registry import get_runner
@@ -114,9 +128,33 @@ def live_engine_fingerprints(spec: Any, engine_config: Any) -> set[str]:
     return fps
 
 
+def _int_or(value: Any, default: int = 0) -> int:
+    """Defensive int coercion: ``None`` / junk becomes the default.
+
+    Provenance dicts are attacker-free but not shape-free — a field can
+    be *present and None* (e.g. a custom runner recording ``seed=None``),
+    and indexing a record must never crash the run that produced it.
+    """
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _float_or(value: Any, default: float = 0.0) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _str_or(value: Any, default: str = "") -> str:
+    return default if value is None else str(value)
+
+
 @dataclass(frozen=True)
 class IndexEntry:
-    """One line of ``index.jsonl``: where a streamed record landed."""
+    """One index line: where a streamed record landed."""
 
     run_id: str
     artifact: str
@@ -131,6 +169,14 @@ class IndexEntry:
     #: Non-default invocation arguments (repr'd); empty for a
     #: canonical ``session.run(name)`` execution.
     arguments: dict[str, str]
+    #: Wall-clock append time; orders entries across index segments
+    #: written by different processes (legacy lines default to 0.0 and
+    #: therefore sort before every segmented line).  Cross-*host*
+    #: sharding trusts the hosts' clocks: with skewed clocks, "latest"
+    #: may prefer an older record — harmless between identical runs
+    #: (run ids are content-addressed) but visible when configs change
+    #: between shards.
+    ts: float = field(default=0.0, compare=False)
 
     @property
     def is_canonical(self) -> bool:
@@ -141,20 +187,56 @@ class IndexEntry:
         return json.dumps({"schema": SCHEMA_VERSION, **asdict(self)})
 
 
+def pick_latest(entries: "list[IndexEntry]") -> "IndexEntry | None":
+    """The one selection policy for "the record behind an artifact":
+    the latest entry, preferring canonical (default-argument) runs over
+    nested subset runs.  Shared by :meth:`ResultStore.latest` and the
+    from-store manifest builder so ``store show`` and a frozen
+    manifest can never disagree about which record represents an
+    artifact."""
+    canonical = [e for e in entries if e.is_canonical]
+    chosen = canonical or entries
+    return chosen[-1] if chosen else None
+
+
 class RecordSink:
-    """Streams :class:`RunRecord`\\ s into ``results/`` + ``index.jsonl``.
+    """Streams :class:`RunRecord`\\ s into ``results/`` + ``index/``.
 
     Run ids are content-addressed and timestamp-free — a fingerprint of
     the artifact name, the configuration provenance and the encoded
     payload — so re-running an identical experiment overwrites the same
     record file (idempotent) while the append-only index keeps the full
     invocation history.
+
+    The index is **segmented**: each sink appends to a private
+    ``index/<pid>-<token>.jsonl`` file (created on first append), so
+    concurrent campaign processes sharing one store can never interleave
+    or tear each other's lines.  :meth:`entries` merges every segment
+    with the legacy single ``index.jsonl`` of pre-segment stores,
+    ordered by append timestamp.
     """
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
         self.results_dir = self.root / "results"
+        #: Legacy single-file index: still read (and merged), never
+        #: appended to by this version.
         self.index_path = self.root / "index.jsonl"
+        self.index_dir = self.root / "index"
+        self._segment: Path | None = None
+        self._append_lock = threading.Lock()
+        self._warned_foreign_schema = False
+
+    def segment_path(self) -> Path:
+        """This sink's private index segment (lazily named).
+
+        ``pid`` makes the owner obvious in ``ls``; the random token is
+        what guarantees uniqueness (two sinks in one process, pid reuse
+        across reboots)."""
+        if self._segment is None:
+            token = os.urandom(4).hex()
+            self._segment = self.index_dir / f"{os.getpid()}-{token}.jsonl"
+        return self._segment
 
     def run_id_for(self, record: RunRecord) -> str:
         prov = record.provenance
@@ -179,44 +261,91 @@ class RecordSink:
         return f"results/{_safe_name(record.artifact)}/{run_id}.json"
 
     def append(self, record: RunRecord) -> IndexEntry:
-        """Persist one record and index it; returns the index entry."""
+        """Persist one record and index it; returns the index entry.
+
+        The store root is materialized *before* the record file is
+        written, the record file before its index line (an index line
+        must never point at a record that does not exist yet), and the
+        index line lands in this sink's private segment — a single
+        buffered write under a thread lock, so even thread-pool callers
+        sharing one sink cannot interleave lines.
+        """
         prov = record.provenance
         run_id = self.run_id_for(record)
         relpath = self.record_relpath(record, run_id)
+        self.root.mkdir(parents=True, exist_ok=True)
         _atomic_write_text(self.root / relpath, record.to_json(indent=1))
         entry = IndexEntry(
             run_id=run_id,
             artifact=record.artifact,
             path=relpath,
-            spec_fingerprint=str(prov.get("spec_fingerprint", "")),
-            engine_fingerprint=str(prov.get("engine_fingerprint", "")),
-            seed=int(prov.get("seed", 0)),
-            cache=dict(prov.get("cache", {})),
-            duration_s=float(prov.get("duration_s", 0.0)),
-            arguments=dict(prov.get("arguments", {})),
+            spec_fingerprint=_str_or(prov.get("spec_fingerprint")),
+            engine_fingerprint=_str_or(prov.get("engine_fingerprint")),
+            seed=_int_or(prov.get("seed")),
+            cache=dict(prov.get("cache") or {}),
+            duration_s=_float_or(prov.get("duration_s")),
+            arguments=dict(prov.get("arguments") or {}),
+            ts=time.time(),
         )
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.index_path, "a", encoding="utf-8") as fh:
-            fh.write(entry.to_line() + "\n")
+        with self._append_lock:
+            segment = self.segment_path()
+            segment.parent.mkdir(parents=True, exist_ok=True)
+            with open(segment, "a", encoding="utf-8") as fh:
+                fh.write(entry.to_line() + "\n")
         return entry
 
+    def index_files(self) -> list[Path]:
+        """Every index file to merge: the legacy single file (if any)
+        first, then the segments in name order."""
+        files: list[Path] = []
+        if self.index_path.exists():
+            files.append(self.index_path)
+        if self.index_dir.is_dir():
+            files.extend(sorted(self.index_dir.glob("*.jsonl")))
+        return files
+
     def entries(self) -> Iterator[IndexEntry]:
-        """All well-formed index lines, oldest first."""
-        if not self.index_path.exists():
-            return
-        with open(self.index_path, encoding="utf-8") as fh:
-            for line in fh:
+        """All well-formed index lines merged across segments, oldest
+        first (append timestamp; legacy lines carry none and sort
+        before all segmented lines, preserving their file order).
+
+        Lines whose ``schema`` differs from :data:`SCHEMA_VERSION` are
+        skipped — but not silently: the first full merge that drops any
+        emits one :class:`~repro.errors.StoreWarning` with the count,
+        so ``store ls`` / ``store diff`` on a mixed-version store
+        cannot under-report without a trace.
+        """
+        rows: list[IndexEntry] = []
+        foreign = 0
+        for path in self.index_files():
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue  # segment vanished mid-merge (gc'd store copy)
+            for line in text.splitlines():
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     data = json.loads(line)
                     if data.get("schema") != SCHEMA_VERSION:
+                        foreign += 1
                         continue
                     data.pop("schema")
-                    yield IndexEntry(**data)
+                    rows.append(IndexEntry(**data))
                 except (ValueError, TypeError):
                     continue  # torn tail line from a crash mid-append
+        if foreign and not self._warned_foreign_schema:
+            self._warned_foreign_schema = True
+            warnings.warn(
+                f"skipped {foreign} index line(s) with a schema other than "
+                f"{SCHEMA_VERSION} in {self.root} (written by a different "
+                "tool version; re-run it there to query them)",
+                StoreWarning,
+                stacklevel=2,
+            )
+        rows.sort(key=lambda e: e.ts)  # stable: ties keep file order
+        yield from rows
 
 
 class ResultStore:
@@ -281,6 +410,23 @@ class ResultStore:
             / f"{_safe_name(fg)}-vs-{_safe_name(bg)}-{fg_threads}x{bg_threads}-{keyfp}.json"
         )
 
+    def _publish_entry(self, path: Path, kind: str, key: dict[str, Any], result: Any) -> None:
+        """Atomically publish one cache entry under the *shared* store
+        lock, so a concurrent ``gc`` (exclusive) can never prune the
+        shard between this writer's key computation and its rename."""
+        with store_lock(self.root, exclusive=False):
+            _atomic_write_text(
+                path,
+                json.dumps(
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "kind": kind,
+                        "key": key,
+                        "result": result,
+                    }
+                ),
+            )
+
     @staticmethod
     def _load_entry(path: Path, kind: str, key: dict[str, Any]) -> Any | None:
         data = _read_json(path)
@@ -310,20 +456,15 @@ class ResultStore:
     def put_solo(
         self, engine_fp: str, workload: str, threads: int, result: SoloRunResult
     ) -> None:
-        _atomic_write_text(
+        self._publish_entry(
             self._solo_path(engine_fp, workload, threads),
-            json.dumps(
-                {
-                    "schema": SCHEMA_VERSION,
-                    "kind": "solo",
-                    "key": {
-                        "engine_fingerprint": engine_fp,
-                        "workload": workload,
-                        "threads": threads,
-                    },
-                    "result": encode_solo(result),
-                }
-            ),
+            "solo",
+            {
+                "engine_fingerprint": engine_fp,
+                "workload": workload,
+                "threads": threads,
+            },
+            encode_solo(result),
         )
 
     def _scenario_path(self, engine_fp: str, scenario: Scenario) -> Path:
@@ -356,19 +497,14 @@ class ResultStore:
     def put_scenario(
         self, engine_fp: str, scenario: Scenario, result: ScenarioRunResult
     ) -> None:
-        _atomic_write_text(
+        self._publish_entry(
             self._scenario_path(engine_fp, scenario),
-            json.dumps(
-                {
-                    "schema": SCHEMA_VERSION,
-                    "kind": "scenario",
-                    "key": {
-                        "engine_fingerprint": engine_fp,
-                        "scenario": scenario.payload(),
-                    },
-                    "result": encode_scenario_result(result),
-                }
-            ),
+            "scenario",
+            {
+                "engine_fingerprint": engine_fp,
+                "scenario": scenario.payload(),
+            },
+            encode_scenario_result(result),
         )
 
     def scenarios(self) -> list[dict[str, Any]]:
@@ -427,22 +563,17 @@ class ResultStore:
         bg_threads: int,
         result: CoRunResult,
     ) -> None:
-        _atomic_write_text(
+        self._publish_entry(
             self._corun_path(engine_fp, fg, bg, fg_threads, bg_threads),
-            json.dumps(
-                {
-                    "schema": SCHEMA_VERSION,
-                    "kind": "corun",
-                    "key": {
-                        "engine_fingerprint": engine_fp,
-                        "fg": fg,
-                        "bg": bg,
-                        "fg_threads": fg_threads,
-                        "bg_threads": bg_threads,
-                    },
-                    "result": encode_corun(result),
-                }
-            ),
+            "corun",
+            {
+                "engine_fingerprint": engine_fp,
+                "fg": fg,
+                "bg": bg,
+                "fg_threads": fg_threads,
+                "bg_threads": bg_threads,
+            },
+            encode_corun(result),
         )
 
     # -- record sink + query -------------------------------------------------
@@ -493,11 +624,10 @@ class ResultStore:
         subset runs — ``latest("fig5")`` after a campaign is the full
         matrix, not fig6's mini-benchmark sweep.
         """
-        entries = self.query(artifact=artifact)
-        if not entries:
+        picked = pick_latest(self.query(artifact=artifact))
+        if picked is None:
             raise StoreError(f"no records for artifact {artifact!r} in {self.root}")
-        canonical = [e for e in entries if e.is_canonical]
-        return self.load((canonical or entries)[-1])
+        return self.load(picked)
 
     # -- maintenance ---------------------------------------------------------
 
@@ -514,25 +644,34 @@ class ResultStore:
         removed.  Streamed records and the index are history, not
         cache — they are never collected.  With ``dry_run`` nothing is
         deleted; the returned summary reports what would be.
+
+        The scan-and-prune runs under the **exclusive** store lock:
+        cache writers hold it shared, so a gc racing a mid-campaign
+        process can never ``rmtree`` a shard between that writer's key
+        computation and its entry's rename (the prune waits for the
+        write to publish, then — if the shard really is orphaned —
+        removes the shard including the fresh entry, which is exactly a
+        whole-shard decision, never a torn one).
         """
         import shutil
 
         removed_dirs: list[str] = []
         removed_entries = 0
         kept_entries = 0
-        for section in ("solo", "corun", "scenario"):
-            base = self.root / section
-            if not base.exists():
-                continue
-            for shard in sorted(p for p in base.iterdir() if p.is_dir()):
-                n = sum(1 for _ in shard.rglob("*.json"))
-                if shard.name in live_engine_fps:
-                    kept_entries += n
+        with store_lock(self.root, exclusive=True):
+            for section in ("solo", "corun", "scenario"):
+                base = self.root / section
+                if not base.exists():
                     continue
-                removed_entries += n
-                removed_dirs.append(str(shard.relative_to(self.root)))
-                if not dry_run:
-                    shutil.rmtree(shard)
+                for shard in sorted(p for p in base.iterdir() if p.is_dir()):
+                    n = sum(1 for _ in shard.rglob("*.json"))
+                    if shard.name in live_engine_fps:
+                        kept_entries += n
+                        continue
+                    removed_entries += n
+                    removed_dirs.append(str(shard.relative_to(self.root)))
+                    if not dry_run:
+                        shutil.rmtree(shard)
         return {
             "removed_entries": removed_entries,
             "kept_entries": kept_entries,

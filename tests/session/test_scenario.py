@@ -316,3 +316,124 @@ class TestNWayRunner:
         assert len(s.placements) == 3
         smt = default_scenario(session, smt=True)
         assert smt.smt and smt.total_threads <= session.spec.n_slots * 2
+
+
+class TestScenarioPayloadHelpers:
+    def test_from_payload_roundtrip(self):
+        for s in (
+            Scenario.of("G-CC:2", "fotonik3d:2", "swaptions:2"),
+            Scenario.pair("G-CC", "swaptions", llc_policy="static"),
+            Scenario.of("G-CC:8", "fotonik3d:8", smt=True),
+        ):
+            assert Scenario.from_payload(s.payload()) == s
+            assert Scenario.from_payload(s.payload()).fingerprint == s.fingerprint
+
+    def test_shard_disjoint_and_covering(self):
+        sweep = ScenarioSet.pairwise(SUBSET, threads=2)
+        shards = [sweep.shard(i, 3) for i in (1, 2, 3)]
+        flat = [s for piece in shards for s in piece]
+        assert sorted(s.fingerprint for s in flat) == sorted(
+            s.fingerprint for s in sweep
+        )
+        with pytest.raises(ScenarioError):
+            sweep.shard(0, 3)
+        with pytest.raises(ScenarioError):
+            sweep.shard(4, 3)
+
+
+class TestScenarioSetRunner:
+    def test_default_sweep_reuses_fig5_and_consolidate_cells(self):
+        """Inside a campaign the sweep artifact is pure provenance: its
+        pair cells are fig5's and its rotations consolidate-n's, so it
+        simulates nothing new."""
+        session = Session(make_config())
+        session.run("fig5")
+        session.run("consolidate-n")
+        before = session.stats.snapshot()
+        sweep = session.run("scenario-set").result
+        delta = session.stats.delta_since(before)
+        assert delta["solo_misses"] == 0
+        assert delta["corun_misses"] == 0
+        assert delta["scenario_misses"] == 0
+        assert len(sweep.cells) == len(SUBSET) ** 2 + 3  # pairwise + rotations
+        tiers = sweep.by_tier()
+        assert tiers == {"corun": len(SUBSET) ** 2, "scenario": 3}
+
+    def test_cells_carry_persistent_identity(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "st")
+        session = Session(make_config(), store=store)
+        sweep = session.run("scenario-set").result
+        engine_fp = session.engine_fingerprint()
+        default_policy = session.config.engine_config.llc_policy
+        for cell in sweep.cells:
+            assert cell.engine_fingerprint == engine_fp
+            # The recorded fingerprint is the *canonical* cache identity:
+            # llc_policy=None collapses onto the effective engine policy.
+            assert (
+                cell.fingerprint
+                == cell.scenario.with_policy(default_policy).fingerprint
+            )
+            assert cell.tier == (
+                "corun" if len(cell.scenario.placements) == 2 else "scenario"
+            )
+        # Every declared cell really is persisted under that identity:
+        # a cold session over the store re-reads the whole sweep with
+        # zero simulations.
+        cold = Session(make_config(), store=ResultStore(tmp_path / "st"))
+        cold.run("scenario-set")
+        assert cold.stats.solo_misses == 0
+        assert cold.stats.corun_misses == 0
+        assert cold.stats.scenario_misses == 0
+
+    def test_record_roundtrips_through_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "st")
+        session = Session(make_config(), store=store)
+        record = session.run("scenario-set")
+        loaded = ResultStore(tmp_path / "st").latest("scenario-set")
+        assert loaded.result.cells == record.result.cells
+        assert loaded.result.pool == record.result.pool
+        assert loaded.provenance == record.provenance
+
+    def test_explicit_scenarios_and_overrides(self):
+        session = Session(make_config())
+        sweep = session.run(
+            "scenario-set",
+            scenarios=(Scenario.of("G-CC:2", "fotonik3d:2", "swaptions:2"),),
+            llc_policy="static",
+        ).result
+        # Explicit scenarios are taken as-is (the override kwargs only
+        # shape the default sweep).
+        assert len(sweep.cells) == 1
+        assert sweep.cells[0].tier == "scenario"
+        direct = session.run_scenario(
+            Scenario.of("G-CC:2", "fotonik3d:2", "swaptions:2")
+        )
+        assert sweep.cells[0].fg_slowdown == direct.normalized_time
+
+    def test_uncacheable_scenarios_rejected(self):
+        session = Session(make_config())
+        balloon = AppPlacement(
+            "balloon", 2, profile=get_profile("G-CC"), solo_rate_override=1.0
+        )
+        with pytest.raises(ScenarioError):
+            session.run(
+                "scenario-set",
+                scenarios=(Scenario((AppPlacement("G-CC", 2), balloon)),),
+            )
+
+    def test_cli_scenario_set_accepts_overrides(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "scenario-set", "--workloads", "G-CC,swaptions", "--llc-policy", "even",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ScenarioSet sweep" in out and "worst hit" in out
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ScenarioError):
+            Session(make_config()).run("scenario-set", scenarios=())

@@ -1,0 +1,191 @@
+"""Tests for multi-process campaigns: sharded ``run-all``, the
+``repro campaign`` driver, claim-file work stealing, and manifest
+reconstruction from the store's merged index."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import ExperimentConfig
+from repro.errors import CampaignError
+from repro.session import runner_names
+from repro.store import (
+    ResultStore,
+    build_manifest_from_store,
+    diff_manifests,
+    load_manifest,
+    parse_shard,
+    run_campaign,
+    shard_names,
+)
+from repro.store.campaign import _claim
+
+SUBSET = ("G-CC", "swaptions")
+WORKLOADS_ARG = ",".join(SUBSET)
+
+
+def make_config(**kw):
+    kw.setdefault("workloads", SUBSET)
+    kw.setdefault("jitter", 0.0)
+    return ExperimentConfig(**kw)
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/2") == (1, 2)
+        assert parse_shard("3/3") == (3, 3)
+        for bad in ("0/2", "3/2", "x/2", "2", "1/0", "-1/2"):
+            with pytest.raises(CampaignError):
+                parse_shard(bad)
+
+    def test_shards_are_disjoint_and_cover(self):
+        names = runner_names()
+        pieces = [shard_names(names, i, 3) for i in (1, 2, 3)]
+        flat = [n for piece in pieces for n in piece]
+        assert sorted(flat) == sorted(names)
+        assert len(flat) == len(set(flat))
+
+    def test_claim_is_exclusive(self, tmp_path):
+        assert _claim(tmp_path, "fig5") is True
+        assert _claim(tmp_path, "fig5") is False
+        assert _claim(tmp_path, "fig6") is True
+        assert (tmp_path / "fig5.claim").read_text().strip().isdigit()
+
+
+class TestCampaign:
+    @pytest.mark.slow
+    def test_two_worker_campaign_matches_serial(self, tmp_path, capsys):
+        """The acceptance path: a 2-process campaign over one store is
+        ``store diff``-identical to a serial run-all, every artifact is
+        claimed exactly once, and a second campaign is all disk hits."""
+        serial_root = tmp_path / "serial"
+        assert main([
+            "run-all", "--store", str(serial_root), "--workloads", WORKLOADS_ARG,
+        ]) == 0
+        capsys.readouterr()
+
+        camp_root = tmp_path / "camp"
+        # Mirror the CLI's config exactly (same jitter/seed defaults):
+        # run ids are content-addressed, so any config drift would show
+        # up as a manifest diff below.
+        summary = run_campaign(ExperimentConfig(workloads=SUBSET), camp_root, workers=2)
+        names = runner_names(artifact_only=False)
+        claimed = [n for w in summary["workers"] for n in w["done"]]
+        assert sorted(claimed) == sorted(names)  # exactly once, no dupes
+        assert len(summary["workers"]) == 2
+        assert summary["artifacts"] == sorted(names)
+        assert not list((camp_root / "campaign").iterdir())  # claims cleaned
+
+        diff = diff_manifests(
+            load_manifest(serial_root), load_manifest(camp_root)
+        )
+        assert not diff["changed"] and not diff["only_in_a"] and not diff["only_in_b"]
+        assert not diff["config_changes"]
+
+        # Warm second campaign: the shared cache proves reuse — no
+        # *cacheable* cell is re-simulated anywhere across both workers.
+        # (The predictor's in-band bubble reporter is uncacheable by
+        # design, so its solo reference may cost one simulation per
+        # worker process that characterizes against it.)
+        again = run_campaign(ExperimentConfig(workloads=SUBSET), camp_root, workers=2)
+        cache = again["cache"]
+        assert cache.get("solo_misses", 0) <= 2  # <= 1 per worker, in-band only
+        assert cache.get("corun_misses", 0) == 0
+        assert cache.get("scenario_misses", 0) == 0
+        assert (
+            cache.get("solo_disk_hits", 0)
+            + cache.get("corun_disk_hits", 0)
+            + cache.get("scenario_disk_hits", 0)
+        ) > 0
+
+    @pytest.mark.slow
+    def test_sharded_run_all_matches_serial(self, tmp_path, capsys):
+        """Two `run-all --shard` passes over one store reproduce the
+        serial campaign manifest cell-for-cell."""
+        serial_root = tmp_path / "serial"
+        assert main([
+            "run-all", "--store", str(serial_root), "--workloads", WORKLOADS_ARG,
+        ]) == 0
+        shard_root = tmp_path / "sharded"
+        for spec in ("1/2", "2/2"):
+            assert main([
+                "run-all", "--store", str(shard_root),
+                "--workloads", WORKLOADS_ARG, "--shard", spec,
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2:" in out and "shard 2/2:" in out
+        assert main([
+            "store", "diff",
+            str(serial_root / "manifest.json"), str(shard_root / "manifest.json"),
+        ]) == 0
+        assert "0 changed" in capsys.readouterr().out
+        # The final shard's manifest covers the whole registry.
+        manifest = json.loads((shard_root / "manifest.json").read_text())
+        assert sorted(manifest["artifacts"]) == sorted(runner_names())
+
+    def test_single_worker_campaign_runs_inline(self, tmp_path):
+        config = make_config(workloads=("swaptions", "nab"))
+        summary = run_campaign(config, tmp_path / "st", workers=1)
+        assert len(summary["workers"]) == 1
+        assert summary["workers"][0]["done"]  # claimed everything inline
+        assert Path(summary["manifest_path"]).is_file()
+
+    def test_build_manifest_from_store_prefers_canonical(self, tmp_path):
+        from repro.session import Session
+
+        store = ResultStore(tmp_path / "st")
+        config = make_config()
+        session = Session(config, store=store)
+        full = session.run("fig5")
+        session.run("fig5", foregrounds=("G-CC",), backgrounds=("swaptions",))
+        manifest = build_manifest_from_store(store, config)
+        row = manifest["artifacts"]["fig5"]
+        assert row["run_id"] == store.run_id_for(full)
+        assert row["provenance"]["arguments"] == {}
+        assert manifest["spec_fingerprint"] == session.spec_fingerprint()
+        assert manifest["engine_fingerprint"] == session.engine_fingerprint()
+        # Only artifacts with records appear: a partial store freezes a
+        # partial manifest rather than inventing rows.
+        assert sorted(manifest["artifacts"]) == ["fig5"]
+
+    def test_workers_validation(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign(make_config(), tmp_path / "st", workers=0)
+
+
+class TestCampaignCli:
+    def test_campaign_requires_store(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_shard_only_applies_to_run_all(self, capsys):
+        assert main(["fig5", "--shard", "1/2", "--workloads", WORKLOADS_ARG]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_shard_requires_store(self, capsys):
+        # Without a shared store a shard would freeze a silently
+        # partial manifest: refuse instead.
+        assert main(["run-all", "--shard", "1/2", "--workloads", WORKLOADS_ARG]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_bad_shard_spec_is_a_store_error(self, tmp_path, capsys):
+        assert main([
+            "run-all", "--store", str(tmp_path / "st"),
+            "--workloads", WORKLOADS_ARG, "--shard", "5/2",
+        ]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_cli_campaign_end_to_end(self, tmp_path, capsys):
+        st = str(tmp_path / "st")
+        assert main([
+            "campaign", "--store", st, "--workers", "2",
+            "--workloads", WORKLOADS_ARG,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker pid=" in out and "manifest.json" in out
+        manifest = json.loads((tmp_path / "st" / "manifest.json").read_text())
+        assert sorted(manifest["artifacts"]) == sorted(runner_names())
+        assert manifest["executor"] == "campaign[2]"
