@@ -24,13 +24,16 @@ asserted only when the machine can physically provide it.
 import os
 import shutil
 import time
+from pathlib import Path
 
 from repro.core import ExperimentConfig
 from repro.session import Session, runner_names
 from repro.store import ResultStore, diff_manifests, load_manifest, run_campaign, write_manifest
 from repro.workloads.calibration import APPLICATIONS
 
-WORKLOADS = APPLICATIONS[:6]
+from conftest import env_workloads
+
+WORKLOADS = env_workloads(APPLICATIONS[:6])
 
 
 def _serial(root) -> float:
@@ -52,6 +55,11 @@ def _campaign(root, workers: int) -> tuple[float, dict]:
 def test_campaign_speedup_and_equivalence(benchmark, artifacts, tmp_path):
     serial_root = tmp_path / "serial"
     serial_s = _serial(serial_root)
+    # Keep the frozen campaign manifest as a build artifact (the CI
+    # benchmark-smoke job uploads benchmarks/out/).
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    shutil.copy(serial_root / "manifest.json", out_dir / "manifest.json")
 
     c2_root = tmp_path / "c2"
     c2_s, c2 = _campaign(c2_root, 2)

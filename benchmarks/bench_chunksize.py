@@ -24,10 +24,14 @@ pools ignore chunking (no pickling to amortize).
 
 import time
 
+from conftest import env_workloads
+
 from repro.session import ParallelExecutor, ScenarioSet, Session
 
-WORKLOADS = ("G-CC", "G-PR", "fotonik3d", "IRSmk", "swaptions", "nab",
-             "Stream", "Bandit")
+WORKLOADS = env_workloads(
+    ("G-CC", "G-PR", "fotonik3d", "IRSmk", "swaptions", "nab",
+     "Stream", "Bandit")
+)
 
 
 def _sweep_times(config):

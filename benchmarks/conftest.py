@@ -9,6 +9,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,16 @@ import pytest
 from repro.core import ExperimentConfig
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def env_workloads(default: tuple[str, ...]) -> tuple[str, ...]:
+    """Benchmark roster, overridable via REPRO_BENCH_WORKLOADS — the
+    CI benchmark-smoke job sets e.g. ``G-CC,fotonik3d,swaptions`` to
+    run the campaign-path benches on a tiny spec."""
+    env = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not env:
+        return default
+    return tuple(w.strip() for w in env.split(",") if w.strip()) or default
 
 
 @pytest.fixture(scope="session")

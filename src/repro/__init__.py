@@ -57,8 +57,11 @@ consolidations, LLC-policy ablations and SMT spec variants::
 
 from repro.core import (
     ExperimentConfig,
+    NWayVerdict,
     PairClass,
+    classify_nway,
     classify_pair,
+    run_cat_sweep,
     run_bandwidth_sweep,
     run_consolidation,
     run_gemini_vs_offenders,
@@ -116,11 +119,14 @@ __all__ = [
     "Machine",
     "MachineSpec",
     "MissRatioCurve",
+    "NWayVerdict",
     "PairClass",
     "TraceProfiler",
     "WorkloadProfile",
     "__version__",
+    "classify_nway",
     "classify_pair",
+    "run_cat_sweep",
     "get_all_profiles",
     "get_profile",
     "get_runner",

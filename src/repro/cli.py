@@ -8,7 +8,10 @@ Usage::
     repro table4
     repro scenario run G-CC:2 fotonik3d:2 swaptions:2 --llc-policy static
     repro scenario run G-CC:8 Stream:8 --smt     # 16 threads on 8 SMT cores
+    repro scenario run G-CC:4 Stream:4 --ways G-CC:0xF0 Stream:0x0F  # CAT masks
+    repro scenario run G-CC:1 Stream:1 --smt --pin G-CC:0 Stream:0   # share a core
     repro consolidate-n --workloads G-CC,fotonik3d,swaptions
+    repro cat-sweep                              # way-mask Pareto sweep
     repro --store .repro-store run-all          # campaign + manifest.json
     repro --store .repro-store run-all --shard 1/2   # one shard of a campaign
     repro --store .repro-store campaign --workers 4  # multi-process campaign
@@ -58,6 +61,8 @@ from repro.session import (
     Session,
     ThreadExecutor,
     get_runner,
+    parse_pinning,
+    parse_way_mask,
     runner_names,
 )
 from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
@@ -148,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(2 hardware threads per core)",
     )
     parser.add_argument(
+        "--ways",
+        metavar="NAME:BITMAP",
+        nargs="+",
+        default=None,
+        help="per-app CAT LLC way masks for 'scenario run', e.g. "
+        "--ways G-CC:0xF0 Stream:0x0F (apps without a mask keep all ways)",
+    )
+    parser.add_argument(
+        "--pin",
+        metavar="NAME:CORE[,CORE...]",
+        nargs="+",
+        default=None,
+        help="per-app core pinnings for 'scenario run', e.g. "
+        "--pin G-CC:0,1 Stream:0,1 (pinned cores are reserved; unpinned "
+        "apps schedule onto the remaining ones)",
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="for 'store gc': report what would be pruned without deleting",
@@ -178,7 +200,7 @@ def _list_text() -> str:
     lines.append(
         "commands: run-all [--shard I/N] (campaign + manifest), "
         "campaign (multi-process run-all), store ls/show/gc/diff, "
-        "scenario run/ls"
+        "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
@@ -273,6 +295,26 @@ def _store_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
     return 2
 
 
+def _by_name(specs, parse, flag: str) -> dict:
+    """Parse NAME:VALUE specs into a dict, refusing duplicate names —
+    a repeated name would silently keep only the last value, which is
+    exactly wrong for self-pair scenarios (use the Python API's
+    placement-aligned sequence form for per-seat values there)."""
+    from repro.errors import ScenarioError
+
+    out: dict = {}
+    for spec in specs:
+        name, value = parse(spec)
+        if name in out:
+            raise ScenarioError(
+                f"{flag} names {name!r} twice; one value per workload "
+                "(for a self-pair, use Scenario.with_ways/with_pinning "
+                "with a placement-aligned list)"
+            )
+        out[name] = value
+    return out
+
+
 def _scenario_command(args: argparse.Namespace, session: Session) -> int:
     """``repro scenario run <app[:threads]> ...`` / ``repro scenario ls``."""
     sub = args.subargs[0]
@@ -283,12 +325,26 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
         entries = session.store.scenarios()
         print(f"{len(entries)} persisted N-way scenario(s) in {session.store.root}")
         for e in entries:
-            apps = "+".join(f"{name}:{threads}" for name, threads in e["scenario"]["apps"])
-            policy = e["scenario"]["llc_policy"] or "default"
-            smt = "on" if e["scenario"]["smt"] else "off"
+            payload = e["scenario"]
+            apps = "+".join(f"{name}:{threads}" for name, threads in payload["apps"])
+            policy = payload["llc_policy"] or "default"
+            smt = "on" if payload["smt"] else "off"
+            extras = ""
+            if payload.get("llc_ways"):
+                masks = "/".join(
+                    f"{m:#x}" if m is not None else "-"
+                    for m in payload["llc_ways"]
+                )
+                extras += f" ways={masks}"
+            if payload.get("pinning"):
+                pins = "/".join(
+                    ",".join(str(c) for c in p) if p is not None else "-"
+                    for p in payload["pinning"]
+                )
+                extras += f" pin={pins}"
             print(
                 f"  {apps:<44} llc={policy:<8} smt={smt} "
-                f"engine={e['engine_fingerprint']}"
+                f"engine={e['engine_fingerprint']}{extras}"
             )
         return 0
     if sub == "run":
@@ -305,6 +361,14 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
             llc_policy=args.llc_policy,
             smt=args.smt,
         )
+        if args.ways:
+            scenario = scenario.with_ways(
+                _by_name(args.ways, parse_way_mask, "--ways")
+            )
+        if args.pin:
+            scenario = scenario.with_pinning(
+                _by_name(args.pin, parse_pinning, "--pin")
+            )
         record = session.run("scenario", scenario=scenario)
         print(get_runner("scenario").render(record.result, csv=args.csv))
         return 0
@@ -402,6 +466,11 @@ def _campaign_command(args: argparse.Namespace, config: ExperimentConfig) -> int
             f"[{', '.join(report['done'])}] cache: {served} served / "
             f"{simulated} simulated"
         )
+    if summary["recovered"]:
+        print(
+            f"recovered {len(summary['recovered'])} artifact(s) re-queued "
+            f"from dead worker(s): {', '.join(summary['recovered'])}"
+        )
     totals = summary["cache"]
     disk = (
         totals.get("solo_disk_hits", 0)
@@ -449,6 +518,16 @@ def main(argv: list[str] | None = None) -> int:
             "error: --llc-policy/--smt only apply to 'scenario', "
             "'consolidate-n' and 'scenario-set' (wrap other studies in a "
             "scenario to vary them)",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.ways or args.pin) and not (
+        args.experiment == "scenario" and args.subargs[:1] == ["run"]
+    ):
+        # Way masks / pinnings attach to explicit placements only.
+        print(
+            "error: --ways/--pin only apply to 'scenario run' "
+            "(cat-sweep sweeps its own mask allocations)",
             file=sys.stderr,
         )
         return 2

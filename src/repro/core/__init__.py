@@ -32,9 +32,17 @@ from repro.core.bandwidth_sweep import (
 )
 from repro.core.classify import (
     VICTIM_THRESHOLD,
+    NWayVerdict,
     PairClass,
     PairVerdict,
+    classify_nway,
     classify_pair,
+)
+from repro.core.catsweep import (
+    CatSweepPoint,
+    CatSweepResult,
+    contiguous_split,
+    run_cat_sweep,
 )
 from repro.core.consolidation import ConsolidationMatrix, run_consolidation
 from repro.core.allocation import (
@@ -118,7 +126,13 @@ __all__ = [
     "MINI_BENCH_BACKGROUNDS",
     "MetricQuad",
     "MiniBenchResult",
+    "CatSweepPoint",
+    "CatSweepResult",
     "NWayCell",
+    "NWayVerdict",
+    "classify_nway",
+    "contiguous_split",
+    "run_cat_sweep",
     "NWayDegradationTable",
     "OFFENDERS",
     "PairBandwidthResult",

@@ -1,0 +1,239 @@
+"""CAT way-mask allocation sweep: the ``cat-sweep`` artifact.
+
+Intel's Cache Allocation Technology partitions the shared LLC with
+per-CLOS way bitmaps; the interesting question for a consolidation
+scheduler is *where to draw the line*: every way handed to the
+foreground protects its working set, every way handed back to the
+background buys aggregate throughput.  This runner sweeps contiguous
+two-way partitions of the machine's LLC (foreground takes the top
+``k`` ways, background the remaining ``W - k``) alongside the three
+global sharing policies as reference points, then reports the **Pareto
+frontier** of foreground slowdown (lower is better) vs. background
+throughput (higher is better).
+
+Every point is an ordinary cacheable :class:`Scenario`, so the sweep
+fans out over the session executor, lands in the store's scenario
+tier under the session's *base* engine fingerprint (way masks live in
+the scenario payload, not the engine config — ``store gc`` can never
+orphan them), and re-renders from a warm store with zero simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import ascii_table
+from repro.errors import ScenarioError
+from repro.session.base import Runner
+from repro.session.registry import register_runner
+from repro.session.scenario import Scenario
+
+
+def contiguous_split(n_ways: int, fg_ways: int) -> tuple[int, int]:
+    """The (fg, bg) bitmaps of a contiguous two-way partition: the
+    foreground owns the top ``fg_ways`` ways, the background the rest
+    (``contiguous_split(8, 4) == (0xF0, 0x0F)``)."""
+    if not 1 <= fg_ways < n_ways:
+        raise ScenarioError(
+            f"fg_ways must lie in [1, {n_ways - 1}], got {fg_ways}"
+        )
+    bg_ways = n_ways - fg_ways
+    return ((1 << fg_ways) - 1) << bg_ways, (1 << bg_ways) - 1
+
+
+@dataclass(frozen=True)
+class CatSweepPoint:
+    """One swept allocation: a mask pair or a global-policy reference."""
+
+    label: str
+    #: Foreground / background way bitmaps (``None`` for policy points).
+    fg_mask: int | None
+    bg_mask: int | None
+    #: Global LLC policy of a reference point (``None`` for mask points).
+    llc_policy: str | None
+    #: Foreground co-run time / foreground solo time.
+    fg_slowdown: float
+    #: Background progress relative to its solo rate.
+    bg_throughput: float
+
+    @property
+    def masked(self) -> bool:
+        return self.fg_mask is not None
+
+
+@dataclass
+class CatSweepResult:
+    """The full sweep plus its Pareto frontier."""
+
+    fg: str
+    bg: str
+    threads: int
+    #: Total LLC ways of the machine the sweep partitioned.
+    n_ways: int
+    points: list[CatSweepPoint] = field(default_factory=list)
+
+    def point(self, label: str) -> CatSweepPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def pareto(self) -> list[CatSweepPoint]:
+        """Non-dominated points: no other point is at least as good on
+        both axes and strictly better on one."""
+        out = []
+        for p in self.points:
+            dominated = any(
+                q.fg_slowdown <= p.fg_slowdown
+                and q.bg_throughput >= p.bg_throughput
+                and (
+                    q.fg_slowdown < p.fg_slowdown
+                    or q.bg_throughput > p.bg_throughput
+                )
+                for q in self.points
+            )
+            if not dominated:
+                out.append(p)
+        return out
+
+    def best_masked_vs_policy(self, policy: str = "pressure") -> float:
+        """Foreground-slowdown headroom of the best mask split over a
+        global policy (positive = partitioning protects the fg)."""
+        ref = self.point(policy)
+        best = min(
+            (p for p in self.points if p.masked),
+            key=lambda p: p.fg_slowdown,
+        )
+        return ref.fg_slowdown - best.fg_slowdown
+
+    def render(self) -> str:
+        frontier = {id(p) for p in self.pareto()}
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    p.label,
+                    f"{p.fg_mask:#x}" if p.fg_mask is not None else "-",
+                    f"{p.bg_mask:#x}" if p.bg_mask is not None else "-",
+                    f"{p.fg_slowdown:.3f}",
+                    f"{p.bg_throughput:.3f}",
+                    "*" if id(p) in frontier else "",
+                ]
+            )
+        table = ascii_table(
+            ["allocation", "fg mask", "bg mask", "fg slowdown", "bg rate", "pareto"],
+            rows,
+            title=(
+                f"CAT way-mask sweep: {self.fg}:{self.threads} vs "
+                f"{self.bg}:{self.threads} over {self.n_ways} LLC ways"
+            ),
+        )
+        headroom = self.best_masked_vs_policy("pressure")
+        table += (
+            f"best mask split beats 'pressure' by {headroom:+.3f}x fg slowdown; "
+            f"{len(frontier)} Pareto point(s)\n"
+        )
+        return table
+
+
+@register_runner(
+    "cat-sweep",
+    title="CAT way-mask allocation sweep with Pareto frontier (extension)",
+    artifact=False,
+    order=149,
+)
+class CatSweepRunner(Runner):
+    """Sweep contiguous CAT partitions of the LLC for one fg/bg pair
+    (plus the three global policies as reference points) and report the
+    Pareto of fg slowdown vs. bg throughput."""
+
+    def execute(
+        self,
+        session,
+        *,
+        fg: str | None = None,
+        bg: str | None = None,
+        threads: int | None = None,
+    ) -> CatSweepResult:
+        config = session.config
+        fg = fg if fg is not None else config.workloads[0]
+        bg = bg if bg is not None else "Stream"
+        if threads is None:
+            threads = max(1, min(config.threads, config.spec.n_slots // 2))
+        if 2 * threads > config.spec.n_slots:
+            raise ScenarioError(
+                f"{threads}+{threads} threads exceed {config.spec.n_slots} slots"
+            )
+        n_ways = config.spec.llc_ways
+        base = Scenario.pair(fg, bg, threads=threads)
+        scenarios = [base.with_policy(p) for p in ("pressure", "even", "static")]
+        labels = ["pressure", "even", "static"]
+        for k in range(1, n_ways):
+            fg_mask, bg_mask = contiguous_split(n_ways, k)
+            scenarios.append(base.with_ways([fg_mask, bg_mask]))
+            labels.append(f"{k}/{n_ways - k}")
+        result = CatSweepResult(fg=fg, bg=bg, threads=threads, n_ways=n_ways)
+        for label, s, sres in zip(
+            labels, scenarios, session.run_scenarios(scenarios)
+        ):
+            fg_place, bg_place = s.placements
+            result.points.append(
+                CatSweepPoint(
+                    label=label,
+                    fg_mask=fg_place.llc_ways,
+                    bg_mask=bg_place.llc_ways,
+                    llc_policy=s.llc_policy,
+                    fg_slowdown=sres.normalized_time,
+                    bg_throughput=sres.bg_relative_rates[0],
+                )
+            )
+        return result
+
+    def render(self, result: CatSweepResult, **_) -> str:
+        return result.render()
+
+    def encode(self, result: CatSweepResult) -> dict:
+        return {
+            "fg": result.fg,
+            "bg": result.bg,
+            "threads": result.threads,
+            "n_ways": result.n_ways,
+            "points": [
+                [p.label, p.fg_mask, p.bg_mask, p.llc_policy,
+                 p.fg_slowdown, p.bg_throughput]
+                for p in result.points
+            ],
+        }
+
+    def decode(self, payload: dict) -> CatSweepResult:
+        return CatSweepResult(
+            fg=payload["fg"],
+            bg=payload["bg"],
+            threads=payload["threads"],
+            n_ways=payload["n_ways"],
+            points=[
+                CatSweepPoint(
+                    label=label,
+                    fg_mask=fg_mask,
+                    bg_mask=bg_mask,
+                    llc_policy=policy,
+                    fg_slowdown=slowdown,
+                    bg_throughput=throughput,
+                )
+                for label, fg_mask, bg_mask, policy, slowdown, throughput
+                in payload["points"]
+            ],
+        )
+
+
+def run_cat_sweep(
+    fg: str,
+    bg: str = "Stream",
+    *,
+    threads: int | None = None,
+    config=None,
+) -> CatSweepResult:
+    """Run the CAT sweep (thin wrapper over ``Session.run("cat-sweep")``)."""
+    from repro.session import Session
+
+    return Session(config).run("cat-sweep", fg=fg, bg=bg, threads=threads).result

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.classify import VICTIM_THRESHOLD, NWayVerdict, classify_nway
 from repro.core.report import ascii_table
 from repro.errors import ScenarioError
 from repro.session.base import Runner
@@ -36,6 +37,43 @@ from repro.session.scenario import (
     ScenarioResult,
     ScenarioSet,
 )
+
+
+def rotation_verdicts(
+    cells: "list[tuple[tuple[Any, ...], tuple[str, ...], str, float]]",
+    *,
+    threshold: float = VICTIM_THRESHOLD,
+) -> list[NWayVerdict]:
+    """Aggregate foreground-rotation cells into N-way verdicts.
+
+    ``cells`` rows are ``(group_key, members, fg, fg_slowdown)`` where
+    ``group_key`` identifies one consolidation (the sorted member tuple
+    plus any policy overrides), ``members`` is its full roster and
+    ``fg`` names the cell's measured foreground.  Only *complete*
+    rotations — every member measured as foreground once — yield a
+    verdict; partial groups are skipped, never guessed.
+    """
+    groups: dict[tuple[Any, ...], dict[str, float]] = {}
+    roster: dict[tuple[Any, ...], tuple[str, ...]] = {}
+    order: list[tuple[Any, ...]] = []
+    for key, members, fg, slowdown in cells:
+        if key not in groups:
+            groups[key] = {}
+            roster[key] = tuple(sorted(members))
+            order.append(key)
+        groups[key].setdefault(fg, slowdown)
+    out: list[NWayVerdict] = []
+    for key in order:
+        members = roster[key]
+        rotated = groups[key]
+        if len(members) < 2 or set(rotated) != set(members):
+            continue
+        out.append(
+            classify_nway(
+                members, [rotated[m] for m in members], threshold=threshold
+            )
+        )
+    return out
 
 
 #: Largest default workload pool for ``consolidate-n`` (C(6,3)*3 = 60
@@ -181,6 +219,26 @@ class ScenarioSweep:
             counts[c.tier] = counts.get(c.tier, 0) + 1
         return counts
 
+    def verdicts(self, *, threshold: float = VICTIM_THRESHOLD) -> list[NWayVerdict]:
+        """N-way verdicts over every complete rotation group in the
+        sweep.  Members are identified by their placement label (so an
+        asymmetric ``G-CC:2`` and ``G-CC:4`` never merge), and the
+        group key carries the engine overrides — the same placements
+        under two LLC policies classify independently."""
+        rows = []
+        for c in self.cells:
+            s = c.scenario
+            labels = tuple(p.label for p in s.placements)
+            rows.append(
+                (
+                    (tuple(sorted(labels)), s.llc_policy, s.smt),
+                    labels,
+                    labels[0],
+                    c.fg_slowdown,
+                )
+            )
+        return rotation_verdicts(rows, threshold=threshold)
+
     def render(self, *, top: int = 10) -> str:
         tiers = ", ".join(f"{n} {t}" for t, n in sorted(self.by_tier().items()))
         policy = self.llc_policy if self.llc_policy is not None else "default"
@@ -203,6 +261,16 @@ class ScenarioSweep:
                 f"{min(top, len(self.cells))} most degraded"
             ),
         )
+        verdicts = self.verdicts()
+        if verdicts:
+            counts: dict[str, int] = {}
+            for v in verdicts:
+                counts[v.relationship.value] = counts.get(v.relationship.value, 0) + 1
+            table += (
+                f"verdicts over {len(verdicts)} complete rotation group(s): "
+                + ", ".join(f"{n} {rel}" for rel, n in sorted(counts.items()))
+                + "\n"
+            )
         return table
 
 
@@ -293,6 +361,10 @@ class ScenarioSetRunner(Runner):
             "pool": list(result.pool),
             "llc_policy": result.llc_policy,
             "smt": result.smt,
+            "verdicts": [
+                [list(v.apps), list(v.slowdowns), v.relationship.value]
+                for v in result.verdicts()
+            ],
             "cells": [
                 [
                     c.scenario.payload(),
@@ -365,6 +437,24 @@ class NWayDegradationTable:
         """The most-degraded foreground across all consolidations."""
         return max(self.cells, key=lambda c: c.fg_slowdown)
 
+    def verdicts(self, *, threshold: float = VICTIM_THRESHOLD) -> list[NWayVerdict]:
+        """One :class:`NWayVerdict` per complete rotation group: the
+        pair taxonomy generalized over each consolidation's foreground
+        rotations (derived from the cells, so stored tables re-classify
+        identically)."""
+        return rotation_verdicts(
+            [
+                (
+                    tuple(sorted((c.fg,) + c.backgrounds)),
+                    (c.fg,) + c.backgrounds,
+                    c.fg,
+                    c.fg_slowdown,
+                )
+                for c in self.cells
+            ],
+            threshold=threshold,
+        )
+
     def render(self) -> str:
         headers = ["foreground", "backgrounds", "fg slowdown", "bg rel. rates"]
         rows = [
@@ -390,6 +480,23 @@ class NWayDegradationTable:
                 f"note: default pool capped to the first {len(self.pool)} of "
                 f"{self.pool_truncated_from} workloads; pass apps= "
                 "(or a smaller --workloads) for the full sweep\n"
+            )
+        verdicts = self.verdicts()
+        if verdicts:
+            table += ascii_table(
+                ["consolidation", "verdict", "roles"],
+                [
+                    [
+                        " + ".join(v.apps),
+                        v.relationship.value,
+                        ", ".join(f"{a}={v.role(a)}" for a in v.apps),
+                    ]
+                    for v in verdicts
+                ],
+                title=(
+                    f"N-way verdicts ({VICTIM_THRESHOLD}x threshold, "
+                    "aggregated across fg rotations)"
+                ),
             )
         return table
 
@@ -468,6 +575,12 @@ class NWayConsolidationRunner(Runner):
                 [c.fg, list(c.backgrounds), c.threads, c.fg_slowdown,
                  list(c.bg_relative_rates)]
                 for c in result.cells
+            ],
+            # Derived, re-derivable from the cells; persisted so stored
+            # records carry the classification without a decode pass.
+            "verdicts": [
+                [list(v.apps), list(v.slowdowns), v.relationship.value]
+                for v in result.verdicts()
             ],
         }
 

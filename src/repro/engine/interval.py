@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.errors import EngineError
 from repro.engine.bandwidth import resolve_bus
-from repro.engine.llc_sharing import allocate_llc
+from repro.engine.llc_sharing import allocate_llc, allocate_llc_ways
 from repro.engine.results import (
     AppMetrics,
     BandwidthSample,
@@ -78,6 +78,12 @@ class _LiveApp:
     runs_completed: int = 0
     finished: bool = False
     total_instructions: float = 0.0
+    #: CAT way-mask bitmap restricting this app's LLC reach; ``None``
+    #: means all ways (the unpartitioned default).
+    llc_ways: int | None = None
+    #: Physical core ids this app's threads are pinned to; ``None``
+    #: schedules onto the cores no placement reserves.
+    pinning: tuple[int, ...] | None = None
 
     @property
     def region(self) -> RegionProfile:
@@ -161,14 +167,55 @@ class IntervalEngine:
         # core's throughput, so per-thread core IPC scales down.  The
         # scale is exactly 1.0 whenever the spec disables SMT or the
         # threads fit the cores, keeping non-SMT results bit-identical.
-        smt_scale = 1.0
-        if spec.hyperthreading:
+        # With explicit pinning the contention is per-app: each app's
+        # threads spread over its pinned cores, a core's occupancy is
+        # what its residents pay for, and pinned cores are *reserved* —
+        # unpinned apps spread over the remaining cores (as a real
+        # scheduler would), falling back to all cores only when every
+        # core is claimed by some pinning.
+        smt_scales = [1.0] * n
+        if any(a.pinning is not None for a in apps):
+            reserved = {c for a in apps if a.pinning is not None for c in a.pinning}
+            free = tuple(c for c in range(spec.n_cores) if c not in reserved)
+            if not free:
+                free = tuple(range(spec.n_cores))
+            occ = [0.0] * spec.n_cores
+            spans: list[tuple[int, ...]] = []
+            for a in apps:
+                cores = a.pinning if a.pinning is not None else free
+                spans.append(cores)
+                load = a.effective_threads() / len(cores)
+                for c in cores:
+                    occ[c] += load
+            for i in range(n):
+                per_core = sum(occ[c] for c in spans[i]) / len(spans[i])
+                if per_core > 1.0:
+                    if spec.hyperthreading:
+                        smt_scales[i] = (
+                            1.0 + (per_core - 1.0) * SMT_MARGINAL_THROUGHPUT
+                        ) / per_core
+                    else:
+                        # A non-SMT core time-slices fairly: pure division.
+                        smt_scales[i] = 1.0 / per_core
+        elif spec.hyperthreading:
             live_threads = sum(a.effective_threads() for a in apps)
             if live_threads > spec.n_cores:
                 per_core = live_threads / spec.n_cores
-                smt_scale = (
-                    1.0 + (per_core - 1.0) * SMT_MARGINAL_THROUGHPUT
-                ) / per_core
+                smt_scales = [
+                    (1.0 + (per_core - 1.0) * SMT_MARGINAL_THROUGHPUT) / per_core
+                ] * n
+        # Per-app CAT way masks: when any app carries a bitmap the LLC
+        # targets come from the masked allocator; the no-mask path below
+        # is kept verbatim so unpartitioned runs stay bit-identical.
+        has_masks = any(a.llc_ways is not None for a in apps)
+        mask_caps: list[float] = []
+        if has_masks:
+            full = (1 << spec.llc_ways) - 1
+            mask_caps = [
+                bin(a.llc_ways if a.llc_ways is not None else full).count("1")
+                * spec.llc_way_bytes
+                for a in apps
+            ]
         sols: list[_PhaseSolution] = []
         for _ in range(_MAX_ITER):
             from repro.machine.memory import queueing_latency_multiplier
@@ -188,7 +235,8 @@ class IntervalEngine:
             for i, app in enumerate(apps):
                 r = app.region
                 if cfg.llc_policy == "static":
-                    m = r.mrc.miss_ratio(min(r.footprint_bytes, llc_cap))
+                    cap_i = mask_caps[i] if has_masks else llc_cap
+                    m = r.mrc.miss_ratio(min(r.footprint_bytes, cap_i))
                 else:
                     m = r.mrc.miss_ratio(alloc[i])
                 cov = r.regularity * PREFETCH_COVERAGE if cfg.prefetchers_on else 0.0
@@ -201,7 +249,7 @@ class IntervalEngine:
                     1.0 + r.write_fraction + overfetch
                 )
                 sync = self.profile_sync(app)
-                cpi = 1.0 / (r.ipc_core * smt_scale) + sync + stall_lat
+                cpi = 1.0 / (r.ipc_core * smt_scales[i]) + sync + stall_lat
                 t_eff = app.effective_threads()
                 rate = freq / cpi
                 miss_ratios.append(m)
@@ -223,7 +271,7 @@ class IntervalEngine:
                 r = app.region
                 t_eff = app.effective_threads()
                 stall = stalls_lat[i]
-                core_cpi = 1.0 / (r.ipc_core * smt_scale)
+                core_cpi = 1.0 / (r.ipc_core * smt_scales[i])
                 cpi = core_cpi + syncs[i] + stall
                 rate = freq / cpi
                 if bpis[i] > 0:
@@ -250,8 +298,10 @@ class IntervalEngine:
                     )
                 )
 
-            # LLC reallocation from insertion pressures.
-            if cfg.llc_policy == "pressure":
+            # LLC reallocation from insertion pressures (or, with CAT
+            # way masks present, the masked allocator: the global policy
+            # is its all-ways degenerate case).
+            if has_masks or cfg.llc_policy == "pressure":
                 pressures = [
                     (
                         (a.region.l2_mpki / 1000.0)
@@ -263,6 +313,16 @@ class IntervalEngine:
                     for i, a in enumerate(apps)
                 ]
                 footprints = [a.region.footprint_bytes for a in apps]
+            if has_masks:
+                target_alloc = allocate_llc_ways(
+                    llc_cap,
+                    spec.llc_ways,
+                    [a.llc_ways for a in apps],
+                    pressures,
+                    footprints,
+                    cfg.llc_policy,
+                )
+            elif cfg.llc_policy == "pressure":
                 target_alloc = allocate_llc(llc_cap, pressures, footprints)
             elif cfg.llc_policy == "even":
                 target_alloc = [
@@ -411,6 +471,81 @@ class IntervalEngine:
         timeline = self._simulate([app], stop_when=0, max_dt=max_dt)
         return SoloRunResult(metrics=app.metrics, timeline=timeline)
 
+    def _check_way_masks(
+        self,
+        profiles: "list[WorkloadProfile] | tuple[WorkloadProfile, ...]",
+        llc_ways: "list[int | None] | tuple[int | None, ...] | None",
+    ) -> "list[int | None]":
+        """Validate per-app CAT bitmaps against the spec's way count."""
+        if llc_ways is None:
+            return [None] * len(profiles)
+        if len(llc_ways) != len(profiles):
+            raise EngineError(
+                f"{len(profiles)} profiles but {len(llc_ways)} way masks"
+            )
+        limit = 1 << self.spec.llc_ways
+        for prof, mask in zip(profiles, llc_ways):
+            if mask is None:
+                continue
+            if not isinstance(mask, int) or mask <= 0:
+                raise EngineError(
+                    f"{prof.name}: way mask must be a positive bitmap, got {mask!r}"
+                )
+            if mask >= limit:
+                raise EngineError(
+                    f"{prof.name}: way mask {mask:#x} exceeds the LLC's "
+                    f"{self.spec.llc_ways} ways (max {limit - 1:#x})"
+                )
+        return list(llc_ways)
+
+    def _check_pinnings(
+        self,
+        profiles: "list[WorkloadProfile] | tuple[WorkloadProfile, ...]",
+        threads: "list[int] | tuple[int, ...]",
+        pinnings: "list[tuple[int, ...] | None] | None",
+    ) -> "list[tuple[int, ...] | None]":
+        """Validate per-app core pinnings: known cores, no duplicates,
+        and enough hardware-thread slots on the pinned cores — both per
+        app and per core once every placement's load lands."""
+        if pinnings is None:
+            return [None] * len(profiles)
+        if len(pinnings) != len(profiles):
+            raise EngineError(
+                f"{len(profiles)} profiles but {len(pinnings)} pinnings"
+            )
+        spec = self.spec
+        out: list[tuple[int, ...] | None] = []
+        occ = [0.0] * spec.n_cores
+        for prof, t, pin in zip(profiles, threads, pinnings):
+            if pin is None:
+                out.append(None)
+                continue
+            cores = tuple(pin)
+            if not cores:
+                raise EngineError(f"{prof.name}: empty pinning")
+            if len(set(cores)) != len(cores):
+                raise EngineError(f"{prof.name}: duplicate cores in pinning {cores}")
+            for c in cores:
+                if not isinstance(c, int) or not 0 <= c < spec.n_cores:
+                    raise EngineError(
+                        f"{prof.name}: core {c!r} outside [0, {spec.n_cores})"
+                    )
+            if t > len(cores) * spec.slots_per_core:
+                raise EngineError(
+                    f"{prof.name}: {t} threads exceed the "
+                    f"{len(cores) * spec.slots_per_core} slot(s) of cores {cores}"
+                )
+            for c in cores:
+                occ[c] += t / len(cores)
+            out.append(cores)
+        overloaded = [c for c, load in enumerate(occ) if load > spec.slots_per_core + 1e-9]
+        if overloaded:
+            raise EngineError(
+                f"pinnings oversubscribe core(s) {overloaded}: more pinned "
+                f"threads than {spec.slots_per_core} slot(s) per core"
+            )
+        return out
+
     def scenario_run(
         self,
         profiles: "list[WorkloadProfile] | tuple[WorkloadProfile, ...]",
@@ -418,6 +553,8 @@ class IntervalEngine:
         *,
         fg_solo_runtime_s: float | None = None,
         bg_solo_rates: "list[float] | tuple[float, ...] | None" = None,
+        llc_ways: "list[int | None] | tuple[int | None, ...] | None" = None,
+        pinnings: "list[tuple[int, ...] | None] | None" = None,
         max_dt: float = 5.0,
     ) -> ScenarioRunResult:
         """The N-way measurement primitive: consolidate ``profiles[0]``
@@ -429,6 +566,13 @@ class IntervalEngine:
         sweeping many scenarios to avoid recomputation.  ``co_run`` is
         a thin 2-app wrapper over this, so pair scenarios are
         bit-identical to the historical pair API.
+
+        ``llc_ways`` gives each app a CAT way-mask bitmap (``None`` =
+        all ways); ``pinnings`` pins each app's threads to explicit
+        physical cores; pinned cores are *reserved*, and ``None``
+        placements schedule onto the remaining ones.  Both lists
+        align with ``profiles`` and are validated against the machine
+        spec; omitting them keeps the unpartitioned model bit-identical.
         """
         if not profiles:
             raise EngineError("a scenario needs at least one application")
@@ -443,6 +587,8 @@ class IntervalEngine:
                 f"{'+'.join(str(t) for t in threads)} threads exceed "
                 f"{self.spec.n_slots} hardware threads"
             )
+        llc_ways = self._check_way_masks(profiles, llc_ways)
+        pinnings = self._check_pinnings(profiles, threads, pinnings)
         if fg_solo_runtime_s is None:
             fg_solo_runtime_s = self.solo_run(
                 profiles[0], threads=threads[0]
@@ -465,6 +611,8 @@ class IntervalEngine:
                 threads=t,
                 looping=i > 0,
                 metrics=AppMetrics(name=prof.name, threads=t),
+                llc_ways=llc_ways[i],
+                pinning=pinnings[i],
             )
             for i, (prof, t) in enumerate(zip(profiles, threads))
         ]

@@ -24,6 +24,67 @@ from repro.errors import EngineError
 MIN_SHARE_FRACTION = 0.02
 
 
+def allocate_llc_ways(
+    capacity_bytes: float,
+    n_ways: int,
+    masks: "list[int | None]",
+    pressures: list[float],
+    footprints: list[float],
+    policy: str = "pressure",
+) -> list[float]:
+    """Split LLC capacity under per-app CAT way-mask bitmaps.
+
+    Each way belongs to the apps whose mask includes its bit (an unset
+    mask means the full bitmap, CAT's default CLOS behaviour).  Ways are
+    grouped by their sharer signature; within one group capacity splits
+    by the active ``policy``:
+
+    * ``pressure`` — exclusive ways belong to their owner outright;
+      overlapping ways share by insertion pressure, exactly like the
+      unpartitioned fluid model (:func:`allocate_llc`) restricted to
+      that group's capacity and sharers;
+    * ``even`` — every sharer gets an equal slice of each group;
+    * ``static`` — no dynamic contention at all: every sharer sees its
+      whole masked capacity (the private-cache idealization).
+
+    An all-ways mask for every app therefore degenerates to the global
+    policy semantics.  Per-app totals are capped at the footprint — an
+    app cannot keep lines it never touches, however many ways CAT
+    grants it.
+    """
+    n = len(masks)
+    if len(pressures) != n or len(footprints) != n:
+        raise EngineError("masks, pressures and footprints must align")
+    full = (1 << n_ways) - 1
+    eff = [full if m is None else m for m in masks]
+    way_bytes = capacity_bytes / n_ways
+    groups: dict[tuple[int, ...], int] = {}
+    for w in range(n_ways):
+        sharers = tuple(i for i in range(n) if eff[i] >> w & 1)
+        if sharers:
+            groups[sharers] = groups.get(sharers, 0) + 1
+    alloc = [0.0] * n
+    for sharers, ways in groups.items():
+        cap_g = ways * way_bytes
+        if policy == "static":
+            for i in sharers:
+                alloc[i] += cap_g
+        elif policy == "even":
+            for i in sharers:
+                alloc[i] += cap_g / len(sharers)
+        elif len(sharers) == 1:
+            alloc[sharers[0]] += cap_g
+        else:
+            part = allocate_llc(
+                cap_g,
+                [pressures[i] for i in sharers],
+                [footprints[i] for i in sharers],
+            )
+            for i, a in zip(sharers, part):
+                alloc[i] += a
+    return [min(a, f) for a, f in zip(alloc, footprints)]
+
+
 def allocate_llc(
     capacity_bytes: float,
     pressures: list[float],

@@ -183,6 +183,23 @@ class MachineSpec:
         ``2 * n_cores`` with SMT on."""
         return self.n_cores * 2 if self.hyperthreading else self.n_cores
 
+    @property
+    def slots_per_core(self) -> int:
+        """Hardware-thread slots of one physical core (2 under SMT)."""
+        return 2 if self.hyperthreading else 1
+
+    @property
+    def llc_ways(self) -> int:
+        """Number of LLC ways — the granularity of CAT-style way-mask
+        partitioning (``AppPlacement.llc_ways`` bitmaps are validated
+        against ``1 << llc_ways``)."""
+        return self.llc.associativity
+
+    @property
+    def llc_way_bytes(self) -> float:
+        """Capacity of one LLC way (what one mask bit allocates)."""
+        return self.llc.size_bytes / self.llc.associativity
+
     def smt_variant(self) -> "MachineSpec":
         """This machine with Hyper-Threading enabled (the ROADMAP's
         SMT-enabled spec variant); a distinct spec fingerprint, so no

@@ -28,7 +28,9 @@ from repro.session.scenario import (
     Scenario,
     ScenarioResult,
     ScenarioSet,
+    parse_pinning,
     parse_placement,
+    parse_way_mask,
 )
 from repro.session.session import CacheStats, Session
 
@@ -48,7 +50,9 @@ __all__ = [
     "fingerprint",
     "get_runner",
     "jsonify",
+    "parse_pinning",
     "parse_placement",
+    "parse_way_mask",
     "register_runner",
     "resolve_executor",
     "runner_names",

@@ -9,10 +9,24 @@ for as long as it runs (the paper's protocol generalized to N live
 apps) — plus engine overrides:
 
 * ``llc_policy`` — run under a non-default LLC sharing policy
-  (``"pressure"``/``"even"``/``"static"``, the CAT-style partitioning
-  axis of the ROADMAP);
+  (``"pressure"``/``"even"``/``"static"``); with per-app way masks in
+  play the policy governs how *overlapping* ways split, so each global
+  policy is simply the all-ways-shared preset of the mask model;
 * ``smt`` — run on the SMT-enabled variant of the session's machine
   spec (double the hardware-thread slots, shared core pipelines).
+
+On top of the scenario-wide knobs, each :class:`AppPlacement` can
+carry true CAT partitioning state: ``llc_ways`` (a way-mask bitmap
+validated against ``MachineSpec.llc_ways``; disjoint masks isolate
+capacity, overlapping masks share it pressure-style) and ``pinning``
+(explicit physical core ids — two placements that pin the same SMT
+core deliberately share its pipeline, and asymmetric spreads model
+core-allocation policies beyond thread counts).  Both join the
+scenario payload **only when set**, so mask-free, pin-free scenarios
+keep their pre-CAT fingerprints and every warm store keeps serving.
+Masked or pinned *pairs* have no legacy co-run key (the pair key
+cannot encode a bitmap): they cache under their scenario fingerprint
+in the ``scenario/`` tier instead.
 
 Identity and caching
 --------------------
@@ -66,18 +80,49 @@ class AppPlacement:
     instruction rate reference (the predictor passes a sentinel — the
     balloon's own progress is meaningless).  Either one marks the
     enclosing scenario uncacheable.
+
+    ``llc_ways`` is an optional CAT way-mask bitmap (``0xF0`` = this
+    app may only fill the four high LLC ways); ``pinning`` pins the
+    app's threads to explicit physical core ids (two placements that
+    pin the same core deliberately share its pipeline).  Both are part
+    of the scenario's cache identity — and both stay *out* of the
+    canonical payload when unset, so mask-free, pin-free scenarios keep
+    their pre-CAT fingerprints bit-identical.
     """
 
     workload: str
     threads: int
     profile: WorkloadProfile | None = None
     solo_rate_override: float | None = None
+    #: CAT way-mask bitmap; ``None`` = all ways (unpartitioned).
+    llc_ways: int | None = None
+    #: Physical core ids to pin this app's threads to; ``None`` =
+    #: schedule onto the cores no placement reserves.
+    pinning: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.workload:
             raise ScenarioError("placement needs a workload name")
         if self.threads < 1:
             raise ScenarioError(f"{self.workload}: threads must be >= 1")
+        if self.llc_ways is not None and (
+            not isinstance(self.llc_ways, int) or self.llc_ways <= 0
+        ):
+            raise ScenarioError(
+                f"{self.workload}: llc_ways must be a positive bitmap, "
+                f"got {self.llc_ways!r}"
+            )
+        if self.pinning is not None:
+            cores = tuple(self.pinning)
+            if not cores:
+                raise ScenarioError(f"{self.workload}: empty pinning")
+            if any(not isinstance(c, int) or c < 0 for c in cores):
+                raise ScenarioError(
+                    f"{self.workload}: pinning must name core ids >= 0, got {cores}"
+                )
+            if len(set(cores)) != len(cores):
+                raise ScenarioError(f"{self.workload}: duplicate cores in {cores}")
+            object.__setattr__(self, "pinning", cores)
 
     @property
     def plain(self) -> bool:
@@ -85,12 +130,22 @@ class AppPlacement:
         workload registry (the cacheable case)."""
         return self.profile is None and self.solo_rate_override is None
 
+    @property
+    def partitioned(self) -> bool:
+        """True when a way mask or pinning shapes this placement."""
+        return self.llc_ways is not None or self.pinning is not None
+
     def resolve_profile(self) -> WorkloadProfile:
         return self.profile if self.profile is not None else get_profile(self.workload)
 
     @property
     def label(self) -> str:
-        return f"{self.workload}:{self.threads}"
+        text = f"{self.workload}:{self.threads}"
+        if self.llc_ways is not None:
+            text += f"@{self.llc_ways:#x}"
+        if self.pinning is not None:
+            text += f"#{','.join(str(c) for c in self.pinning)}"
+        return text
 
 
 def parse_placement(spec: str, *, default_threads: int = 4) -> AppPlacement:
@@ -104,6 +159,42 @@ def parse_placement(spec: str, *, default_threads: int = 4) -> AppPlacement:
         raise ScenarioError(
             f"bad placement {spec!r}; expected NAME or NAME:THREADS"
         ) from None
+
+
+def parse_way_mask(spec: str) -> tuple[str, int]:
+    """Parse a CLI way-mask spec ``"NAME:0xF0"`` (hex, binary or
+    decimal bitmap) into ``(workload, mask)``."""
+    name, sep, mask = spec.rpartition(":")
+    if not sep or not name:
+        raise ScenarioError(
+            f"bad way mask {spec!r}; expected NAME:BITMAP, e.g. G-CC:0xF0"
+        )
+    try:
+        value = int(mask, 0)
+    except ValueError:
+        raise ScenarioError(
+            f"bad way mask {spec!r}; bitmap must be an integer like 0xF0"
+        ) from None
+    return name, value
+
+
+def parse_pinning(spec: str) -> tuple[str, tuple[int, ...]]:
+    """Parse a CLI pinning spec ``"NAME:0,1"`` into
+    ``(workload, core_ids)``."""
+    name, sep, cores = spec.rpartition(":")
+    if not sep or not name:
+        raise ScenarioError(
+            f"bad pinning {spec!r}; expected NAME:CORE[,CORE...], e.g. G-CC:0,1"
+        )
+    try:
+        ids = tuple(int(c) for c in cores.split(",") if c != "")
+    except ValueError:
+        raise ScenarioError(
+            f"bad pinning {spec!r}; cores must be integers like 0,1"
+        ) from None
+    if not ids:
+        raise ScenarioError(f"bad pinning {spec!r}; names no cores")
+    return name, ids
 
 
 @dataclass(frozen=True)
@@ -167,8 +258,19 @@ class Scenario:
         """Rebuild a scenario from its canonical :meth:`payload` dict —
         the inverse used by store round-trips (``scenario`` /
         ``scenario-set`` record decoding)."""
+        apps = payload["apps"]
+        ways = payload.get("llc_ways") or [None] * len(apps)
+        pins = payload.get("pinning") or [None] * len(apps)
         return Scenario(
-            tuple(AppPlacement(name, threads) for name, threads in payload["apps"]),
+            tuple(
+                AppPlacement(
+                    name,
+                    threads,
+                    llc_ways=mask,
+                    pinning=tuple(pin) if pin is not None else None,
+                )
+                for (name, threads), mask, pin in zip(apps, ways, pins)
+            ),
             llc_policy=payload.get("llc_policy"),
             smt=bool(payload.get("smt", False)),
         )
@@ -181,14 +283,32 @@ class Scenario:
         identity under one engine fingerprint."""
         return all(p.plain for p in self.placements)
 
+    @property
+    def partitioned(self) -> bool:
+        """True when any placement carries a way mask or pinning."""
+        return any(p.partitioned for p in self.placements)
+
     def payload(self) -> dict[str, Any]:
         """Canonical JSON identity (what :attr:`fingerprint` hashes and
-        the store persists as the entry key)."""
-        return {
+        the store persists as the entry key).
+
+        Way masks and pinnings join the payload **only when set**: a
+        mask-free, pin-free scenario hashes to exactly the pre-CAT
+        payload, so every previously persisted entry keeps serving.
+        """
+        payload: dict[str, Any] = {
             "apps": [[p.workload, p.threads] for p in self.placements],
             "llc_policy": self.llc_policy,
             "smt": self.smt,
         }
+        if any(p.llc_ways is not None for p in self.placements):
+            payload["llc_ways"] = [p.llc_ways for p in self.placements]
+        if any(p.pinning is not None for p in self.placements):
+            payload["pinning"] = [
+                list(p.pinning) if p.pinning is not None else None
+                for p in self.placements
+            ]
+        return payload
 
     @property
     def fingerprint(self) -> str:
@@ -211,9 +331,11 @@ class Scenario:
 
         This is the read-through bridge: 2-app scenarios reduce to the
         co-run key the pre-redesign caches used, so warm stores stay
-        bit-identical and are never re-simulated.
+        bit-identical and are never re-simulated.  Way-masked or pinned
+        pairs have *no* pair key — the legacy key cannot encode a CAT
+        bitmap, so they cache under their scenario fingerprint instead.
         """
-        if len(self.placements) != 2 or not self.cacheable:
+        if len(self.placements) != 2 or not self.cacheable or self.partitioned:
             return None
         fg, bg = self.placements
         return (fg.workload, bg.workload, fg.threads, bg.threads)
@@ -236,6 +358,59 @@ class Scenario:
 
     def with_smt(self, smt: bool = True) -> "Scenario":
         return replace(self, smt=smt)
+
+    def _per_placement(
+        self, values: "Sequence[Any] | dict[str, Any] | None", kind: str
+    ) -> list[Any]:
+        """Normalize a per-placement override to a placement-aligned
+        list: ``None`` (strip all), a ``{workload: value}`` dict (every
+        named workload must be placed), or an aligned sequence."""
+        if values is None:
+            return [None] * len(self.placements)
+        if isinstance(values, dict):
+            unknown = set(values) - {p.workload for p in self.placements}
+            if unknown:
+                raise ScenarioError(
+                    f"{kind} names unplaced workload(s): {sorted(unknown)}"
+                )
+            return [values.get(p.workload) for p in self.placements]
+        if len(values) != len(self.placements):
+            raise ScenarioError(
+                f"{len(self.placements)} placements but {len(values)} {kind}s"
+            )
+        return list(values)
+
+    def with_ways(
+        self, masks: "Sequence[int | None] | dict[str, int] | None"
+    ) -> "Scenario":
+        """This scenario under CAT way masks.
+
+        ``masks`` is either a sequence aligned with the placements or a
+        ``{workload: bitmap}`` dict (every named workload must be
+        placed); ``None`` strips all masks.
+        """
+        seq = self._per_placement(masks, "way mask")
+        return replace(
+            self,
+            placements=tuple(
+                replace(p, llc_ways=m) for p, m in zip(self.placements, seq)
+            ),
+        )
+
+    def with_pinning(
+        self,
+        pins: "Sequence[tuple[int, ...] | None] | dict[str, tuple[int, ...]] | None",
+    ) -> "Scenario":
+        """This scenario with explicit core pinnings (same shapes as
+        :meth:`with_ways`)."""
+        seq = self._per_placement(pins, "pinning")
+        return replace(
+            self,
+            placements=tuple(
+                replace(p, pinning=tuple(c) if c is not None else None)
+                for p, c in zip(self.placements, seq)
+            ),
+        )
 
     @property
     def total_threads(self) -> int:
@@ -406,4 +581,20 @@ def run_scenario_task(task: _ScenarioTask) -> ScenarioRunResult:
         [p.threads for p in scenario.placements],
         fg_solo_runtime_s=task.fg_solo_runtime_s,
         bg_solo_rates=list(task.bg_solo_rates),
+        llc_ways=scenario_way_masks(scenario),
+        pinnings=scenario_pinnings(scenario),
     )
+
+
+def scenario_way_masks(scenario: Scenario) -> "list[int | None] | None":
+    """Per-placement way masks for the engine (``None`` when unused)."""
+    if not scenario.partitioned:
+        return None
+    return [p.llc_ways for p in scenario.placements]
+
+
+def scenario_pinnings(scenario: Scenario) -> "list[tuple[int, ...] | None] | None":
+    """Per-placement pinnings for the engine (``None`` when unused)."""
+    if not scenario.partitioned:
+        return None
+    return [p.pinning for p in scenario.placements]

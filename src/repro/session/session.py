@@ -61,6 +61,8 @@ from repro.session.scenario import (
     _ScenarioTask,
     run_scenario_task,
     scenario_engine_parts,
+    scenario_pinnings,
+    scenario_way_masks,
 )
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.registry import get_profile
@@ -562,11 +564,16 @@ class Session:
         spec: MachineSpec | None,
     ) -> ScenarioRunResult:
         fg_runtime, rates = self._scenario_solo_refs(scenario, engine_config, spec)
+        # Solo references stay mask/pin-free: the paper normalizes
+        # against the *unrestricted* solo run, which also keeps the
+        # shared solo cache serving every CAT/pinning variant.
         return self.engine(engine_config, spec).scenario_run(
             [p.resolve_profile() for p in scenario.placements],
             [p.threads for p in scenario.placements],
             fg_solo_runtime_s=fg_runtime,
             bg_solo_rates=list(rates),
+            llc_ways=scenario_way_masks(scenario),
+            pinnings=scenario_pinnings(scenario),
         )
 
     def run_scenarios(

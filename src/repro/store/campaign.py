@@ -26,6 +26,16 @@ Claim files live under ``<root>/campaign/<token>/`` (one token per
 campaign invocation) and are removed when the campaign completes; a
 crashed campaign leaves them behind as a debugging breadcrumb, and the
 next invocation mints a fresh token so stale claims never block it.
+
+**Crashed-worker recovery:** a worker that dies mid-claim (OOM-killed,
+segfault) used to fail the whole campaign.  Now, after every worker
+has exited, the driver reconciles the claim files against the
+completed-artifact reports: claims whose owner pid is verifiably dead
+are re-queued and executed inline by the driver process (heaviest
+first, mostly warm — whatever the dead worker persisted before dying
+is served from the shared store).  A claim held by a *live* pid is
+never stolen; that still fails the campaign rather than risk running
+an artifact twice concurrently.
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -83,6 +93,7 @@ _STATIC_COST = {
     "table4": 50,
     "allocation": 45,
     "scenario-set": 40,
+    "cat-sweep": 38,
     "table3": 35,
     "fig4": 30,
 }
@@ -130,6 +141,40 @@ def _claim(claim_dir: Path, name: str) -> bool:
         os.write(fd, f"{os.getpid()}\n".encode())
     finally:
         os.close(fd)
+    return True
+
+
+def _claim_owner(claim_path: Path) -> int | None:
+    """The pid recorded in a claim file; ``None`` when the file is
+    missing, torn or empty (a worker that died between creating the
+    claim and writing its pid)."""
+    try:
+        text = claim_path.read_text().strip()
+        return int(text) if text else None
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Signal-0 liveness probe; permission errors mean *alive*.
+
+    On Windows ``os.kill(pid, 0)`` would *terminate* the process
+    instead of probing it, so there we conservatively report every pid
+    as alive — recovery degrades to failing the campaign rather than
+    killing (or stealing from) a process that may still be running.
+    """
+    if pid <= 0:
+        return False
+    if os.name == "nt":  # pragma: no cover - POSIX CI
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
     return True
 
 
@@ -195,7 +240,13 @@ def run_campaign(
           "cache": {...},                      # campaign-wide totals
           "manifest_path": ".../manifest.json",
           "manifest": {...},
+          "recovered": [...],                  # re-queued from dead workers
         }
+
+    A worker process that dies mid-campaign no longer fails the run:
+    its claims are re-queued once every worker has exited (see the
+    module docstring) and the re-run artifacts are listed under
+    ``"recovered"``.
 
     ``executor``/``chunksize`` configure each worker's *inner* session
     fan-out (default serial — the campaign's parallelism is the worker
@@ -224,23 +275,52 @@ def run_campaign(
     if workers == 1:
         worker_reports = [_campaign_worker(tasks[0])]
     else:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                worker_reports = [r for r in pool.map(_campaign_worker, tasks)]
-        except BrokenProcessPool as exc:
-            raise CampaignError(
-                f"a campaign worker process died (out of memory or killed); "
-                f"claims kept in {claim_dir} for inspection — completed "
-                "artifacts are persisted, re-running the campaign resumes "
-                "from the warm store"
-            ) from exc
+        # submit() one future per worker (not map): futures completed
+        # before a sibling dies keep their reports, which is what lets
+        # the recovery below know exactly which artifacts are missing.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_campaign_worker, t) for t in tasks]
+            worker_reports = []
+            for future in futures:
+                try:
+                    worker_reports.append(future.result())
+                except BrokenProcessPool:
+                    pass  # a worker died; reconciled against claims below
     claimed = [name for report in worker_reports for name in report["done"]]
+    recovered: list[str] = []
+    done = set(claimed)
+    missing = [n for n in ordered if n not in done]
+    if missing:
+        # Crashed-worker recovery: every worker has exited by now, so a
+        # missing artifact's claim belongs to nobody — unless its owner
+        # pid is verifiably alive (an orphaned process still running),
+        # in which case stealing it could run the artifact twice
+        # concurrently and the campaign must fail instead.
+        for name in missing:
+            claim_path = claim_dir / f"{_safe_name(name)}.claim"
+            if claim_path.exists():
+                owner = _claim_owner(claim_path)
+                if owner is not None and _pid_alive(owner):
+                    raise CampaignError(
+                        f"claim for {name!r} is held by live pid {owner}; "
+                        f"refusing to re-queue (claims kept in {claim_dir})"
+                    )
+                claim_path.unlink(missing_ok=True)
+        # Re-queue inline in the driver process, heaviest first.  The
+        # shared store already holds everything the dead worker
+        # persisted before dying, so this is mostly disk hits.
+        report = _campaign_worker(replace(tasks[0], names=tuple(missing)))
+        recovered = list(report["done"])
+        report["recovered"] = recovered
+        worker_reports.append(report)
+        claimed = claimed + recovered
     if sorted(claimed) != sorted(names):
         # Exactly-once accounting: every artifact claimed and run by one
-        # worker.  A mismatch means a worker died after claiming.
-        missing = sorted(set(names) - set(claimed))
+        # worker (or recovered by the driver).  A residual mismatch
+        # means duplicate claims — a bug, not a crash.
+        leftover = sorted(set(names) - set(claimed))
         raise CampaignError(
-            f"campaign incomplete: {', '.join(missing) or 'duplicate claims'} "
+            f"campaign incomplete: {', '.join(leftover) or 'duplicate claims'} "
             f"(claims kept in {claim_dir} for inspection)"
         )
     from repro.store.manifest import write_manifest_from_store
@@ -264,4 +344,7 @@ def run_campaign(
         "cache": dict(manifest["cache"]),
         "manifest_path": str(resolved_path),
         "manifest": manifest,
+        #: Artifacts re-queued from dead workers' claims (empty on a
+        #: clean run).
+        "recovered": recovered,
     }

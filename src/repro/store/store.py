@@ -108,6 +108,16 @@ def live_engine_fingerprints(spec: Any, engine_config: Any) -> set[str]:
     benches flip the rest) and every LLC policy a scenario can select.
     Shards outside this set belong to no configuration any runner can
     address from ``(spec, engine_config)``.
+
+    **CAT way-mask / pinning variants are covered by construction**:
+    per-app way bitmaps and core pinnings live in the *scenario
+    payload*, never in the engine configuration, so a ``cat-sweep`` or
+    a masked/pinned ``scenario run`` persists its cells under exactly
+    the fingerprints this set already enumerates (base policies x SMT
+    variants).  If masks ever migrated into :class:`EngineConfig`,
+    freshly written CAT shards would fall outside this allowlist and
+    ``store gc`` would prune them — the regression tests pin a session
+    identity for masked *and* pinned scenarios against this set.
     """
     from dataclasses import fields, replace
     from itertools import product

@@ -1,8 +1,11 @@
 """Tests for multi-process campaigns: sharded ``run-all``, the
-``repro campaign`` driver, claim-file work stealing, and manifest
-reconstruction from the store's merged index."""
+``repro campaign`` driver, claim-file work stealing, crashed-worker
+recovery, and manifest reconstruction from the store's merged index."""
 
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -10,7 +13,7 @@ import pytest
 from repro.cli import main
 from repro.core import ExperimentConfig
 from repro.errors import CampaignError
-from repro.session import runner_names
+from repro.session import Session, runner_names
 from repro.store import (
     ResultStore,
     build_manifest_from_store,
@@ -20,7 +23,7 @@ from repro.store import (
     run_campaign,
     shard_names,
 )
-from repro.store.campaign import _claim
+from repro.store.campaign import _claim, _claim_owner, _pid_alive
 
 SUBSET = ("G-CC", "swaptions")
 WORKLOADS_ARG = ",".join(SUBSET)
@@ -52,6 +55,94 @@ class TestSharding:
         assert _claim(tmp_path, "fig5") is False
         assert _claim(tmp_path, "fig6") is True
         assert (tmp_path / "fig5.claim").read_text().strip().isdigit()
+
+
+class TestCrashedWorkerRecovery:
+    def test_pid_alive_probe(self):
+        assert _pid_alive(os.getpid()) is True
+        assert _pid_alive(0) is False
+        assert _pid_alive(-1) is False
+        # A child that has fully exited (waited on) is verifiably dead.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        assert _pid_alive(proc.pid) is False
+
+    def test_claim_owner_parsing(self, tmp_path):
+        _claim(tmp_path, "fig5")
+        assert _claim_owner(tmp_path / "fig5.claim") == os.getpid()
+        # Empty file: a worker that died between create and write.
+        (tmp_path / "torn.claim").write_text("")
+        assert _claim_owner(tmp_path / "torn.claim") is None
+        assert _claim_owner(tmp_path / "missing.claim") is None
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method() != "fork",
+        reason="the monkeypatched Session.run reaches pool workers only "
+        "under the fork start method",
+    )
+    def test_killed_worker_is_requeued(self, tmp_path, monkeypatch):
+        """A worker that dies mid-claim (here: hard os._exit while
+        running its first artifact) no longer fails the campaign — the
+        driver re-queues the dead claim and the manifest still covers
+        every artifact."""
+        config = ExperimentConfig(workloads=("G-CC", "swaptions"), jitter=0.0)
+        parent = os.getpid()
+        marker = tmp_path / "killed-once"
+        real_run = Session.run
+
+        def flaky_run(self, name, **kwargs):
+            # Die exactly once, in a pool worker, while holding a claim.
+            if os.getpid() != parent and not marker.exists():
+                marker.touch()
+                os._exit(13)
+            return real_run(self, name, **kwargs)
+
+        monkeypatch.setattr(Session, "run", flaky_run)
+        summary = run_campaign(config, tmp_path / "st", workers=2)
+        assert marker.exists()  # a worker really died
+        names = runner_names(artifact_only=False)
+        assert summary["artifacts"] == sorted(names)
+        assert summary["recovered"]  # at least the killed claim re-ran
+        claimed = [n for w in summary["workers"] for n in w["done"]]
+        assert sorted(claimed) == sorted(names)
+        # The recovered campaign is still cell-for-cell identical to a
+        # clean serial run.
+        monkeypatch.setattr(Session, "run", real_run)
+        serial_root = tmp_path / "serial"
+        serial = Session(config, store=ResultStore(serial_root))
+        serial.run_all(include_extensions=True)
+        from repro.store import write_manifest
+
+        write_manifest(serial, serial_root / "manifest.json", serial.store)
+        diff = diff_manifests(
+            load_manifest(serial_root), load_manifest(tmp_path / "st")
+        )
+        assert not diff["changed"] and not diff["only_in_a"] and not diff["only_in_b"]
+
+    def test_live_claim_is_never_stolen(self, tmp_path, monkeypatch):
+        """A missing artifact whose claim is held by a *live* pid fails
+        the campaign instead of risking a concurrent double-run."""
+        import repro.store.campaign as campaign_mod
+
+        config = ExperimentConfig(workloads=("swaptions", "nab"), jitter=0.0)
+        # Simulate: worker reports lose one artifact, but its claim is
+        # owned by this (alive) process.
+        real_worker = campaign_mod._campaign_worker
+
+        def lossy_worker(task):
+            report = real_worker(task)
+            report["done"] = [n for n in report["done"] if n != "table1"]
+            return report
+
+        monkeypatch.setattr(campaign_mod, "_campaign_worker", lossy_worker)
+        with pytest.raises(CampaignError, match="live pid"):
+            run_campaign(config, tmp_path / "st", workers=1)
+
+    def test_recovery_summary_empty_on_clean_run(self, tmp_path):
+        config = ExperimentConfig(workloads=("swaptions", "nab"), jitter=0.0)
+        summary = run_campaign(config, tmp_path / "st", workers=1)
+        assert summary["recovered"] == []
 
 
 class TestCampaign:

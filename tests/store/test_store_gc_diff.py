@@ -88,6 +88,48 @@ class TestStoreGc:
 
         assert fingerprint(small_test_machine(), config.engine_config) not in live
 
+    def test_gc_keeps_cat_sweep_and_pinned_shards(self, tmp_path, capsys):
+        """Regression for the CAT redesign: way-mask and pinning
+        variants persist under engine fingerprints that
+        ``live_engine_fingerprints`` must cover — a freshly written
+        cat-sweep must survive ``store gc`` with zero prunable shards.
+        """
+        from repro.store import live_engine_fingerprints
+
+        config = make_config(workloads=("xalancbmk",))
+        store = ResultStore(tmp_path / "st")
+        session = Session(config, store=store)
+        session.run("cat-sweep")
+        masked = Scenario.pair("xalancbmk", "Stream", threads=4).with_ways(
+            [0xF0, 0x0F]
+        )
+        session.run_scenario(masked)
+        pinned = Scenario.pair("xalancbmk", "Stream", threads=1, smt=True)
+        session.run_scenario(pinned.with_pinning([(0,), (0,)]))
+        assert store.describe()["scenario_entries"] > 0
+
+        # Every persisted shard (solo/corun/scenario) must be live.
+        live = live_engine_fingerprints(config.spec, config.engine_config)
+        for section in ("solo", "corun", "scenario"):
+            base = store.root / section
+            if not base.exists():
+                continue
+            for shard in base.iterdir():
+                assert shard.name in live, f"{section}/{shard.name} would be pruned"
+        summary = store.gc(live, dry_run=True)
+        assert summary["removed_entries"] == 0
+        assert summary["removed_dirs"] == []
+
+        # And through the CLI: a dry-run gc right after the sweep
+        # reports zero prunable entries, then the warm cells still
+        # serve a cold session without simulation.
+        assert main(["store", "gc", "--store", str(store.root), "--dry-run"]) == 0
+        assert "would prune 0 cache entr(ies)" in capsys.readouterr().out
+        cold = Session(config, store=ResultStore(store.root))
+        cold.run_scenario(masked)
+        assert cold.stats.scenario_misses == 0
+        assert cold.stats.scenario_disk_hits == 1
+
     def test_cli_gc_keeps_current_config_shards(self, tmp_path, capsys):
         st = str(tmp_path / "st")
         populate(st)
