@@ -106,6 +106,9 @@ def test_campaign_speedup_and_equivalence(benchmark, artifacts, tmp_path):
                 f"  ({serial_s / warm_s:5.2f}x vs serial; all disk hits)",
             ]
         ),
+        cells=len(names),
+        wall_seconds=serial_s,
+        speedup=serial_s / c2_s,
     )
 
     shutil.rmtree(c4_root)

@@ -57,4 +57,10 @@ def test_chunksize_sweep(benchmark, exact_config, artifacts):
     timings, n_cells = _sweep_times(exact_config)
     lines = [f"{n_cells}-cell pairwise scenario sweep, 4 workers"]
     lines += [f"  {label:<10} {secs * 1e3:8.1f} ms" for label, secs in timings.items()]
-    artifacts("chunksize", "\n".join(lines))
+    artifacts(
+        "chunksize",
+        "\n".join(lines),
+        cells=n_cells,
+        wall_seconds=timings["serial"],
+        speedup=timings["serial"] / timings["auto"],
+    )

@@ -5,10 +5,17 @@ table): the benchmark measures the experiment's runtime, and the
 rendered rows/series are written to ``benchmarks/out/<artifact>.txt``
 so the regenerated data can be compared against the paper (see
 EXPERIMENTS.md).
+
+Benches that measure a speedup additionally persist a machine-readable
+``benchmarks/out/BENCH_<name>.json`` (``{"bench", "cells",
+"wall_seconds", "speedup"}``) alongside the prose — the CI
+benchmark-smoke job uploads both, so dashboards diff numbers instead
+of parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,13 +38,35 @@ def env_workloads(default: tuple[str, ...]) -> tuple[str, ...]:
 
 @pytest.fixture(scope="session")
 def artifacts():
-    """Callable that persists a rendered artifact and echoes it."""
+    """Callable that persists a rendered artifact and echoes it.
+
+    Passing any of ``cells`` / ``wall_seconds`` / ``speedup`` also
+    writes ``BENCH_<name>.json`` next to the prose, with exactly the
+    schema ``{"bench", "cells", "wall_seconds", "speedup"}``.
+    """
     OUT_DIR.mkdir(exist_ok=True)
 
-    def write(name: str, text: str) -> Path:
+    def write(
+        name: str,
+        text: str,
+        *,
+        cells: int | None = None,
+        wall_seconds: float | None = None,
+        speedup: float | None = None,
+    ) -> Path:
         path = OUT_DIR / f"{name}.txt"
         path.write_text(text)
         print(f"\n[artifact] {path}\n{text}")
+        if cells is not None or wall_seconds is not None or speedup is not None:
+            bench = {
+                "bench": name,
+                "cells": cells,
+                "wall_seconds": wall_seconds,
+                "speedup": speedup,
+            }
+            (OUT_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps(bench, sort_keys=True) + "\n"
+            )
         return path
 
     return write

@@ -21,6 +21,10 @@ Usage::
     repro --store .repro-store scenario ls      # persisted N-way scenarios
     repro --store .repro-store store gc --dry-run
     repro store diff A/manifest.json B/manifest.json
+    repro --store .repro-store sched replay --trace seed:0:10 \\
+        --policy interference --policy baseline  # placement policies head to head
+    repro sched decide G-CC:4 --machines 2       # one admission what-if
+    repro --store .repro-store store ls --json   # scripted consumption
 
 Experiment ids are artifact names in the runner registry
 (:mod:`repro.session.registry`): table1, fig2, table2, fig3, fig4,
@@ -70,7 +74,11 @@ from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 #: Non-artifact CLI commands sharing the experiment position
 #: ("scenario" doubles as a registered runner: bare `repro scenario`
 #: runs the default scenario, `repro scenario run ...` the subcommand).
-_COMMANDS = ("list", "run-all", "campaign", "store", "scenario")
+_COMMANDS = ("list", "run-all", "campaign", "store", "scenario", "sched")
+
+#: Shipped placement policies (mirrors repro.sched.policy.POLICIES;
+#: spelled out so parser construction stays import-light).
+_POLICY_CHOICES = ("baseline", "interference")
 
 #: Artifacts that honour the --llc-policy/--smt engine overrides.
 _SCENARIO_ARTIFACTS = ("scenario", "consolidate-n", "scenario-set")
@@ -91,8 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
         "subargs",
         nargs="*",
         help="arguments for 'store' (ls | show <artifact-or-run-id> | gc | "
-        "diff <manifest-A> <manifest-B>) and 'scenario' "
-        "(run <app[:threads]> ... | ls)",
+        "diff <manifest-A> <manifest-B>), 'scenario' "
+        "(run <app[:threads]> ... | ls) and 'sched' "
+        "(replay | decide <app[:threads]>)",
     )
     parser.add_argument(
         "--workloads",
@@ -189,6 +198,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="manifest output path for run-all "
         "(default: <store>/manifest.json, or ./manifest.json without --store)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="SPEC",
+        default=None,
+        help="for 'sched replay': arrival trace — seed:S:N[:T] (synthetic, "
+        "seed S, N arrivals of T threads) or a trace JSON file path "
+        "(default: a 10-arrival trace seeded from --seed)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        action="append",
+        default=None,
+        help="for 'sched': placement policy; repeat to replay several "
+        "head to head (default: baseline and interference)",
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help="for 'sched': homogeneous cluster size (default 2)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="for 'sched': per-tenant slowdown SLO (default: the paper's "
+        "1.5x victim threshold)",
+    )
+    parser.add_argument(
+        "--cluster",
+        metavar="PATH",
+        default=None,
+        help="for 'sched decide': cluster state JSON (machines + resident "
+        "tenants; default: an empty homogeneous cluster of --machines)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON output for 'sched', 'store ls' and "
+        "'scenario ls'",
+    )
     return parser
 
 
@@ -200,7 +251,8 @@ def _list_text() -> str:
     lines.append(
         "commands: run-all [--shard I/N] (campaign + manifest), "
         "campaign (multi-process run-all), store ls/show/gc/diff, "
-        "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls"
+        "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls, "
+        "sched replay [--trace seed:S:N] [--policy P ...] / decide APP[:T]"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
@@ -243,6 +295,20 @@ def _store_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
     store = ResultStore(args.store)
     if sub == "ls":
         counts = store.describe()
+        if args.json:
+            from dataclasses import asdict
+
+            print(
+                json.dumps(
+                    {
+                        "store": str(store.root),
+                        "counts": counts,
+                        "records": [asdict(e) for e in store.query()],
+                    },
+                    sort_keys=True,
+                )
+            )
+            return 0
         print(
             f"store {store.root}: {counts['solo_entries']} solo, "
             f"{counts['corun_entries']} co-run, "
@@ -323,6 +389,14 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
             print("error: 'scenario ls' requires --store DIR", file=sys.stderr)
             return 2
         entries = session.store.scenarios()
+        if args.json:
+            print(
+                json.dumps(
+                    {"store": str(session.store.root), "scenarios": entries},
+                    sort_keys=True,
+                )
+            )
+            return 0
         print(f"{len(entries)} persisted N-way scenario(s) in {session.store.root}")
         for e in entries:
             payload = e["scenario"]
@@ -379,6 +453,105 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
     return 2
 
 
+def _sched_command(args: argparse.Namespace, session: Session) -> int:
+    """``repro sched replay [--trace ... --policy ...]`` /
+    ``repro sched decide <app[:threads]> [--cluster FILE]``."""
+    from repro.sched import Cluster, PlacementEvaluator, Tenant, get_policy
+    from repro.session.scenario import parse_placement
+
+    sub = args.subargs[0] if args.subargs else "replay"
+    machines = args.machines if args.machines is not None else 2
+    if sub == "replay":
+        if len(args.subargs) > 1:
+            print(
+                f"error: unexpected argument(s): {' '.join(args.subargs[1:])}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs: dict = {}
+        if args.trace is not None:
+            kwargs["trace"] = args.trace
+        if args.policy:
+            kwargs["policies"] = tuple(args.policy)
+        if args.machines is not None:
+            kwargs["machines"] = machines
+        if args.slo is not None:
+            kwargs["slo"] = args.slo
+        record = session.run("sched-replay", **kwargs)
+        runner = get_runner("sched-replay")
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "comparison": runner.encode(record.result),
+                        "cache": record.provenance["cache"],
+                    },
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(runner.render(record.result))
+        return 0
+    if sub == "decide":
+        from repro.core.classify import VICTIM_THRESHOLD
+
+        if len(args.subargs) < 2:
+            print(
+                "error: sched decide needs an arrival, e.g. sched decide G-CC:4",
+                file=sys.stderr,
+            )
+            return 2
+        placement = parse_placement(args.subargs[1], default_threads=args.threads)
+        if args.cluster is not None:
+            try:
+                payload = json.loads(Path(args.cluster).read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read cluster {args.cluster}: {exc}", file=sys.stderr)
+                return 2
+            cluster = Cluster.from_payload(payload, session.spec)
+        else:
+            cluster = Cluster.homogeneous(machines, session.spec)
+        tenant = Tenant(
+            tenant="arrival",
+            workload=placement.workload,
+            threads=placement.threads,
+            solo_s=1.0,
+        )
+        policy = get_policy((args.policy or ["interference"])[0])
+        slo = args.slo if args.slo is not None else VICTIM_THRESHOLD
+        decision, _ = policy.decide(
+            cluster, tenant, PlacementEvaluator(session), slo=slo
+        )
+        if args.json:
+            print(json.dumps(decision.payload(), sort_keys=True))
+        elif decision.admitted:
+            residents = ", ".join(decision.co_tenants) or "(empty machine)"
+            predicted = (
+                "; predicted slowdowns "
+                + ", ".join(f"{s:.3f}x" for s in decision.predicted)
+                if decision.predicted
+                else ""
+            )
+            print(
+                f"admit {placement.label} on {decision.machine} "
+                f"[{decision.variant}] with {residents}"
+                f"{predicted} ({decision.candidates} candidate(s), "
+                f"policy {decision.policy}, SLO {slo:.2f}x)"
+            )
+        else:
+            print(
+                f"reject {placement.label}: {decision.reason} "
+                f"({decision.candidates} candidate(s), policy "
+                f"{decision.policy}, SLO {slo:.2f}x)"
+            )
+        return 0 if decision.admitted else 1
+    print(
+        f"error: unknown sched subcommand {sub!r}; use replay or decide",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _run_all(args: argparse.Namespace, session: Session) -> int:
     """Execute every registered runner (or one ``--shard I/N`` slice of
     them) and freeze the campaign manifest."""
@@ -389,6 +562,17 @@ def _run_all(args: argparse.Namespace, session: Session) -> int:
         index, count = parse_shard(args.shard)
         names = shard_names(runner_names(), index, count)
         print(f"shard {index}/{count}: {', '.join(names)}")
+        if count > 1:
+            # Warm this shard's cell slice of the scenario-set sweep
+            # first: the sweep splits at *cell* granularity across
+            # shards, so whichever shard owns the artifact name later
+            # materializes the canonical record mostly from cache hits
+            # instead of re-simulating the whole sweep alone.
+            slice_record = session.run("scenario-set", shard=args.shard)
+            print(
+                f"scenario-set shard {args.shard}: warmed "
+                f"{len(slice_record.result.cells)} cell(s)"
+            )
     records = session.run_all(include_extensions=True, names=names)
     for name, record in records.items():
         prov = record.provenance
@@ -503,9 +687,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         print(_list_text())
         return 0
-    if args.experiment not in ("store", "scenario") and args.subargs:
+    if args.experiment not in ("store", "scenario", "sched") and args.subargs:
         print(
             f"error: unexpected argument(s): {' '.join(args.subargs)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment != "sched" and (
+        args.trace is not None
+        or args.policy
+        or args.machines is not None
+        or args.slo is not None
+        or args.cluster is not None
+    ):
+        print(
+            "error: --trace/--policy/--machines/--slo/--cluster only apply "
+            "to 'sched' (the sched-replay artifact runs its seeded default)",
+            file=sys.stderr,
+        )
+        return 2
+    json_ok = args.experiment == "sched" or (
+        args.experiment == "store" and (not args.subargs or args.subargs[0] == "ls")
+    ) or (args.experiment == "scenario" and args.subargs[:1] == ["ls"])
+    if args.json and not json_ok:
+        print(
+            "error: --json only applies to 'sched', 'store ls' and "
+            "'scenario ls'",
             file=sys.stderr,
         )
         return 2
@@ -555,6 +762,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_all(args, session)
         if args.experiment == "scenario" and args.subargs:
             return _scenario_command(args, session)
+        if args.experiment == "sched":
+            return _sched_command(args, session)
         runner = get_runner(args.experiment)
         kwargs = (
             {"llc_policy": args.llc_policy, "smt": args.smt}

@@ -93,6 +93,7 @@ from repro.core.provenance import (
     run_table4,
 )
 from repro.core.report import ascii_table, csv_table, shade, text_heatmap
+from repro.sched import runner as _sched_runner  # noqa: F401  (registers sched-replay)
 from repro.core.scalability import (
     HIGH_THRESHOLD,
     LOW_THRESHOLD,

@@ -309,6 +309,13 @@ class ScenarioSetRunner(Runner):
     fingerprint, cache tier) triple that locates its persisted result —
     the PR 3 follow-on: a sweep is now a first-class campaign artifact,
     not just a loop that warms caches.
+
+    ``shard="I/N"`` executes only the round-robin cell slice
+    (:meth:`ScenarioSet.shard`), which is how ``run-all --shard I/N``
+    splits the sweep at *cell* granularity: every shard warms its
+    disjoint slice of the shared store, then whichever shard owns the
+    ``scenario-set`` artifact name materializes the canonical full
+    record from cache hits.
     """
 
     def execute(
@@ -318,6 +325,7 @@ class ScenarioSetRunner(Runner):
         scenarios: "ScenarioSet | tuple[Scenario, ...] | None" = None,
         llc_policy: str | None = None,
         smt: bool = False,
+        shard: str | None = None,
     ) -> ScenarioSweep:
         sweep = (
             default_sweep(session, llc_policy=llc_policy, smt=smt)
@@ -326,6 +334,16 @@ class ScenarioSetRunner(Runner):
         )
         if not len(sweep):
             raise ScenarioError("scenario-set needs at least one scenario")
+        if shard is not None:
+            from repro.store.campaign import parse_shard
+
+            index, count = parse_shard(shard)
+            sweep = sweep.shard(index, count)
+            if not len(sweep):
+                raise ScenarioError(
+                    f"shard {shard} selects no cells "
+                    f"(the sweep has fewer scenarios than shards)"
+                )
         for s in sweep:
             if not s.cacheable:
                 raise ScenarioError(

@@ -40,6 +40,12 @@ class ScenarioError(ExperimentError):
     LLC policy, or an identity request for an uncacheable scenario."""
 
 
+class SchedError(ExperimentError):
+    """An invalid scheduling request: malformed arrival trace, unknown
+    placement policy, a tenant that fits no machine shape, or a cluster
+    description that does not round-trip."""
+
+
 class StoreError(ReproError):
     """A persistent result-store problem: incompatible on-disk schema,
     unreadable record, or a lookup that cannot be satisfied."""

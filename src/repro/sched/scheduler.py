@@ -1,0 +1,418 @@
+"""The event-driven scheduler and its deterministic replay harness.
+
+:class:`Scheduler` is the online decision loop: per arrival it asks
+its :class:`~repro.sched.policy.PlacementPolicy` for a candidate
+layout (scored through the :class:`~repro.sched.score.PlacementEvaluator`)
+and applies the admitted layout to the cluster; departures evict and —
+when a machine drops to one resident — deterministically clear its
+partitions.  Every decision is appended to a serializable log.
+
+:func:`replay_trace` runs an :class:`~repro.sched.trace.ArrivalTrace`
+through one policy over a fresh cluster and *simulates time*: an
+admitted tenant brings ``solo_s`` seconds of solo work, and under its
+current layout that work drains at ``1 / slowdown`` of wall-time — so
+a bad placement stretches residency, which holds slots longer, which
+degrades later arrivals.  The loop advances to the next arrival,
+explicit departure or projected completion (re-scoring layouts
+whenever membership changes; the evaluator memo and the shared caches
+make the steady intervals free) and accounts:
+
+* per-tenant **achieved slowdown** (residency / solo work) and peak
+  interval slowdown,
+* **SLO violations** — a tenant whose interval slowdown ever reaches
+  the threshold,
+* **rejections**, and time-weighted machine **utilization**.
+
+Everything derives from the trace and the session config; no clocks,
+no ambient randomness.  The resulting :class:`ReplayReport` payload is
+byte-identical across runs, processes and warm/cold stores — which is
+what lets the ``sched-replay`` artifact live in the campaign manifest
+like any figure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.classify import VICTIM_THRESHOLD
+from repro.core.report import ascii_table
+from repro.errors import SchedError
+from repro.sched.cluster import Cluster, Tenant
+from repro.sched.policy import Decision, PlacementPolicy, get_policy
+from repro.sched.score import PlacementEvaluator
+from repro.sched.trace import ArrivalTrace
+
+#: Work-remaining epsilon: below this many solo-seconds a tenant is done.
+_EPS = 1e-9
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 1]) — a pure-python
+    match of the usual definition, 0.0 on an empty sample."""
+    vs = sorted(values)
+    if not vs:
+        return 0.0
+    pos = (len(vs) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(vs) - 1)
+    frac = pos - lo
+    return vs[lo] * (1.0 - frac) + vs[hi] * frac
+
+
+class Scheduler:
+    """Online decision loop over one cluster, one policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: PlacementPolicy,
+        evaluator: PlacementEvaluator,
+        *,
+        slo: float = VICTIM_THRESHOLD,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.evaluator = evaluator
+        self.slo = slo
+        #: Every decision made, in arrival order.
+        self.decisions: list[Decision] = []
+
+    def arrival(self, tenant: Tenant, *, time_s: float = 0.0) -> Decision:
+        """Decide one arrival; admitted layouts are applied (residents
+        re-partitioned, the tenant seated with its assigned mask/pins)."""
+        decision, candidate = self.policy.decide(
+            self.cluster, tenant, self.evaluator, slo=self.slo, time_s=time_s
+        )
+        if decision.admitted and candidate is not None:
+            machine = self.cluster.machine(candidate.machine)
+            machine.apply_layout(candidate.assignments())
+            seat = candidate.arrival_placement
+            machine.admit(
+                replace(
+                    tenant,
+                    arrival_s=time_s,
+                    llc_ways=seat.llc_ways,
+                    pinning=seat.pinning,
+                )
+            )
+        self.decisions.append(decision)
+        return decision
+
+    def departure(self, tenant_id: str, *, time_s: float = 0.0) -> Tenant:
+        """Evict a resident tenant (explicit departure or completion)."""
+        machine = self.cluster.find(tenant_id)
+        if machine is None:
+            raise SchedError(f"departure of unknown tenant {tenant_id!r}")
+        return machine.evict(tenant_id)
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """What one trace arrival experienced end to end."""
+
+    tenant: str
+    workload: str
+    threads: int
+    #: ``"completed"``, ``"evicted"`` (explicit departure with work
+    #: left) or ``"rejected"``.
+    status: str
+    machine: str | None
+    arrival_s: float
+    end_s: float
+    solo_s: float
+    #: Residency / solo work for completions; work-weighted mean
+    #: interval slowdown for evictions; 0.0 for rejections.
+    achieved_slowdown: float
+    peak_slowdown: float
+    violated: bool
+
+    @property
+    def admitted(self) -> bool:
+        return self.status != "rejected"
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "threads": self.threads,
+            "status": self.status,
+            "machine": self.machine,
+            "arrival_s": self.arrival_s,
+            "end_s": self.end_s,
+            "solo_s": self.solo_s,
+            "achieved_slowdown": self.achieved_slowdown,
+            "peak_slowdown": self.peak_slowdown,
+            "violated": self.violated,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "TenantOutcome":
+        return TenantOutcome(**payload)
+
+
+@dataclass
+class ReplayReport:
+    """One policy's full replay: decisions, outcomes, aggregates."""
+
+    policy: str
+    slo: float
+    machines: tuple[str, ...]
+    total_slots: int
+    trace_fingerprint: str
+    decisions: list[Decision]
+    outcomes: list[TenantOutcome]
+    sim_time_s: float
+    #: Time-weighted occupied-slot fraction over the whole replay.
+    utilization: float
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def admitted(self) -> list[TenantOutcome]:
+        return [o for o in self.outcomes if o.admitted]
+
+    @property
+    def rejections(self) -> int:
+        return sum(1 for o in self.outcomes if not o.admitted)
+
+    @property
+    def violations(self) -> int:
+        """Tenants whose interval slowdown ever reached the SLO."""
+        return sum(1 for o in self.admitted if o.violated)
+
+    def slowdown_percentile(self, q: float) -> float:
+        return percentile([o.achieved_slowdown for o in self.admitted], q)
+
+    @property
+    def p50_slowdown(self) -> float:
+        return self.slowdown_percentile(0.50)
+
+    @property
+    def p95_slowdown(self) -> float:
+        return self.slowdown_percentile(0.95)
+
+    @property
+    def mean_slowdown(self) -> float:
+        adm = self.admitted
+        if not adm:
+            return 0.0
+        return sum(o.achieved_slowdown for o in adm) / len(adm)
+
+    # -- serialization ------------------------------------------------------
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "slo": self.slo,
+            "machines": list(self.machines),
+            "total_slots": self.total_slots,
+            "trace_fingerprint": self.trace_fingerprint,
+            "decisions": [d.payload() for d in self.decisions],
+            "outcomes": [o.payload() for o in self.outcomes],
+            "sim_time_s": self.sim_time_s,
+            "utilization": self.utilization,
+            "summary": {
+                "admitted": len(self.admitted),
+                "rejected": self.rejections,
+                "violations": self.violations,
+                "p50_slowdown": self.p50_slowdown,
+                "p95_slowdown": self.p95_slowdown,
+                "mean_slowdown": self.mean_slowdown,
+            },
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "ReplayReport":
+        return ReplayReport(
+            policy=payload["policy"],
+            slo=payload["slo"],
+            machines=tuple(payload["machines"]),
+            total_slots=payload["total_slots"],
+            trace_fingerprint=payload["trace_fingerprint"],
+            decisions=[Decision.from_payload(d) for d in payload["decisions"]],
+            outcomes=[TenantOutcome.from_payload(o) for o in payload["outcomes"]],
+            sim_time_s=payload["sim_time_s"],
+            utilization=payload["utilization"],
+        )
+
+    def decision_log(self) -> str:
+        """The canonical decision log: one JSON line per decision —
+        byte-identical for identical (trace, config, policy)."""
+        return "\n".join(
+            json.dumps(d.payload(), sort_keys=True) for d in self.decisions
+        )
+
+    def render(self) -> str:
+        rows = [
+            [
+                o.tenant,
+                o.workload,
+                o.machine if o.machine is not None else "-",
+                o.status,
+                f"{o.achieved_slowdown:.3f}" if o.admitted else "-",
+                f"{o.peak_slowdown:.3f}" if o.admitted else "-",
+                "yes" if o.violated else "",
+            ]
+            for o in self.outcomes
+        ]
+        table = ascii_table(
+            ["tenant", "workload", "machine", "status", "achieved", "peak", "SLO hit"],
+            rows,
+            title=(
+                f"Replay [{self.policy}] over {len(self.machines)} machine(s), "
+                f"SLO {self.slo:.2f}x"
+            ),
+        )
+        return table + (
+            f"{len(self.admitted)} admitted / {self.rejections} rejected, "
+            f"{self.violations} SLO violation(s); slowdown p50 "
+            f"{self.p50_slowdown:.3f}x p95 {self.p95_slowdown:.3f}x mean "
+            f"{self.mean_slowdown:.3f}x; utilization "
+            f"{self.utilization * 100:.1f}% over {self.sim_time_s:.1f}s\n"
+        )
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one resident tenant during a replay."""
+
+    tenant: Tenant
+    machine: str
+    remaining_s: float
+    peak: float = 1.0
+    violated: bool = False
+
+
+def replay_trace(
+    trace: ArrivalTrace,
+    evaluator: PlacementEvaluator,
+    *,
+    machines: int = 2,
+    policy: str = "interference",
+    slo: float = VICTIM_THRESHOLD,
+    cluster: Cluster | None = None,
+) -> ReplayReport:
+    """Replay a trace through one policy over a fresh cluster (or the
+    given one) and simulate the tenants' lifetimes.  See the module
+    docstring for the time model."""
+    if cluster is None:
+        cluster = Cluster.homogeneous(machines, evaluator.session.spec)
+    sched = Scheduler(cluster, get_policy(policy), evaluator, slo=slo)
+    active: dict[str, _Active] = {}
+    outcomes: dict[str, TenantOutcome] = {}
+    order: list[str] = []
+    events = list(trace.events)
+    i = 0
+    now = 0.0
+    util_area = 0.0
+
+    def finish(tid: str, end_s: float, *, evicted: bool) -> None:
+        a = active.pop(tid)
+        sched.departure(tid, time_s=end_s)
+        elapsed = end_s - a.tenant.arrival_s
+        if evicted:
+            done = a.tenant.solo_s - max(a.remaining_s, 0.0)
+            achieved = elapsed / done if done > _EPS else 1.0
+            status = "evicted"
+        else:
+            achieved = elapsed / a.tenant.solo_s
+            status = "completed"
+        outcomes[tid] = TenantOutcome(
+            tenant=tid,
+            workload=a.tenant.workload,
+            threads=a.tenant.threads,
+            status=status,
+            machine=a.machine,
+            arrival_s=a.tenant.arrival_s,
+            end_s=end_s,
+            solo_s=a.tenant.solo_s,
+            achieved_slowdown=achieved,
+            peak_slowdown=a.peak,
+            violated=a.violated,
+        )
+
+    while i < len(events) or active:
+        # Current per-tenant slowdowns under each machine's live layout.
+        rates: dict[str, float] = {}
+        for m in cluster:
+            ids = tuple(m.tenants)
+            if not ids:
+                continue
+            for tid, s in zip(ids, evaluator.slowdowns(m.spec, m.placements())):
+                rates[tid] = s
+        for tid, a in active.items():
+            s = rates[tid]
+            if s > a.peak:
+                a.peak = s
+            if s >= slo:
+                a.violated = True
+        next_event = events[i].time_s if i < len(events) else float("inf")
+        next_done = float("inf")
+        for tid, a in active.items():
+            t_fin = now + a.remaining_s * rates[tid]
+            if t_fin < next_done:
+                next_done = t_fin
+        t_next = min(next_event, next_done)
+        dt = t_next - now
+        if dt > 0:
+            util_area += cluster.used_slots * dt
+            for tid, a in active.items():
+                a.remaining_s -= dt / rates[tid]
+            now = t_next
+        else:
+            now = max(now, t_next)
+        # Completions first (they free slots for same-instant arrivals).
+        for tid in [t for t, a in active.items() if a.remaining_s <= _EPS]:
+            finish(tid, now, evicted=False)
+        while i < len(events) and events[i].time_s <= now + _EPS:
+            e = events[i]
+            i += 1
+            if e.kind == "arrival":
+                tenant = Tenant(
+                    tenant=e.tenant,
+                    workload=e.workload,
+                    threads=e.threads,
+                    solo_s=e.solo_s,
+                    arrival_s=e.time_s,
+                )
+                order.append(e.tenant)
+                decision = sched.arrival(tenant, time_s=e.time_s)
+                if decision.admitted:
+                    active[e.tenant] = _Active(
+                        tenant=replace(tenant, arrival_s=e.time_s),
+                        machine=decision.machine or "",
+                        remaining_s=e.solo_s,
+                    )
+                else:
+                    outcomes[e.tenant] = TenantOutcome(
+                        tenant=e.tenant,
+                        workload=e.workload,
+                        threads=e.threads,
+                        status="rejected",
+                        machine=None,
+                        arrival_s=e.time_s,
+                        end_s=e.time_s,
+                        solo_s=e.solo_s,
+                        achieved_slowdown=0.0,
+                        peak_slowdown=0.0,
+                        violated=False,
+                    )
+            elif e.tenant in active:
+                finish(e.tenant, now, evicted=True)
+            # A departure of an already-finished tenant is a no-op.
+
+    return ReplayReport(
+        policy=sched.policy.name,
+        slo=slo,
+        machines=tuple(m.name for m in cluster),
+        total_slots=cluster.total_slots,
+        trace_fingerprint=trace.fingerprint,
+        decisions=sched.decisions,
+        outcomes=[outcomes[tid] for tid in order],
+        sim_time_s=now,
+        utilization=(
+            util_area / (cluster.total_slots * now) if now > 0 else 0.0
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Scoring candidate layouts with the engine, through the Session.
+
+The scheduler asks one question over and over: *if machine M holds
+these placements, how much does each tenant slow down?*
+:class:`PlacementEvaluator` answers it with the paper's
+foreground-rotation protocol — each member of the layout measured once
+as the scenario foreground against the rest — through
+:meth:`Session.run_scenarios`, so every cell:
+
+* deduplicates against the session's in-memory caches,
+* reads through / writes behind the attached
+  :class:`~repro.store.store.ResultStore` (**the store is the
+  scheduler's warm cache**: a second replay over the same store
+  re-simulates nothing), and
+* is bit-identical to the same scenario run by any other artifact.
+
+Layouts are additionally memoized here per ``(spec, placements)`` so a
+replay that re-evaluates a stable machine every interval costs a dict
+lookup, not even a cache probe.  Single-tenant layouts are exactly
+``1.0`` by definition (a solo run normalized to itself) and never
+touch the engine.
+
+Heterogeneous clusters: a machine whose spec differs from the
+session's (e.g. an SMT variant) is scored through a sibling session
+sharing the same store — cache keys embed the spec fingerprint, so
+results can never cross machine shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.core.classify import VICTIM_THRESHOLD, NWayVerdict, classify_nway
+from repro.machine.spec import MachineSpec
+from repro.session.base import fingerprint
+from repro.session.scenario import AppPlacement, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.session import Session
+
+
+class PlacementEvaluator:
+    """Layout -> per-tenant slowdowns, memoized, via one Session."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self._sessions: dict[str, "Session"] = {fingerprint(session.spec): session}
+        self._memo: dict[tuple[str, tuple[AppPlacement, ...]], tuple[float, ...]] = {}
+
+    def session_for(self, spec: MachineSpec) -> "Session":
+        """The session that scores layouts on ``spec`` — the base one
+        when the spec matches, else a sibling sharing executor, store
+        and chunksize (lazily built, one per distinct spec)."""
+        fp = fingerprint(spec)
+        if fp not in self._sessions:
+            from repro.session.session import Session
+
+            self._sessions[fp] = Session(
+                replace(self.session.config, spec=spec),
+                executor=self.session.executor,
+                store=self.session.store,
+                chunksize=self.session.chunksize,
+            )
+        return self._sessions[fp]
+
+    def slowdowns(
+        self, spec: MachineSpec, placements: "tuple[AppPlacement, ...]"
+    ) -> tuple[float, ...]:
+        """Per-placement slowdown of a layout, by foreground rotation.
+
+        ``result[i]`` is placement ``i``'s normalized execution time
+        when it is the measured foreground against the others — the
+        same number ``consolidate-n`` records for that rotation, served
+        from the same caches.
+        """
+        placements = tuple(placements)
+        if not placements:
+            return ()
+        if len(placements) == 1:
+            # A lone tenant is its own solo reference: exactly 1.0,
+            # engine-free (simulating it would only re-derive the
+            # definition through the jitter model).
+            return (1.0,)
+        key = (fingerprint(spec), placements)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        n = len(placements)
+        rotations = [placements[i:] + placements[:i] for i in range(n)]
+        session = self.session_for(spec)
+        results = session.run_scenarios([Scenario(rot) for rot in rotations])
+        out = tuple(res.normalized_time for res in results)
+        self._memo[key] = out
+        return out
+
+    def verdict(
+        self,
+        labels: "tuple[str, ...]",
+        slowdowns: "tuple[float, ...]",
+        *,
+        threshold: float = VICTIM_THRESHOLD,
+    ) -> NWayVerdict:
+        """The paper's N-way taxonomy over one scored layout."""
+        return classify_nway(labels, list(slowdowns), threshold=threshold)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Summed cache counters across every spec's session."""
+        totals: dict[str, int] = {}
+        for s in self._sessions.values():
+            for k, v in s.stats.snapshot().items():
+                totals[k] = totals.get(k, 0) + v
+        return totals

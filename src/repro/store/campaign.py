@@ -93,6 +93,7 @@ _STATIC_COST = {
     "table4": 50,
     "allocation": 45,
     "scenario-set": 40,
+    "sched-replay": 42,
     "cat-sweep": 38,
     "table3": 35,
     "fig4": 30,

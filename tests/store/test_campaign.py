@@ -56,6 +56,29 @@ class TestSharding:
         assert _claim(tmp_path, "fig6") is True
         assert (tmp_path / "fig5.claim").read_text().strip().isdigit()
 
+    def test_scenario_set_shards_at_cell_granularity(self):
+        """``scenario-set`` with ``shard="I/N"`` executes a disjoint
+        round-robin slice of the sweep's cells; the slices cover the
+        full sweep exactly."""
+        from repro.core.nway import default_sweep
+        from repro.errors import ScenarioError
+
+        session = Session(make_config())
+        full = session.run("scenario-set").result
+        slices = [
+            session.run("scenario-set", shard=f"{i}/2").result for i in (1, 2)
+        ]
+        expected = len(default_sweep(session))
+        assert len(full.cells) == expected
+        got = [c.fingerprint for s in slices for c in s.cells]
+        assert sorted(got) == sorted(c.fingerprint for c in full.cells)
+        assert len(set(got)) == len(got)  # disjoint
+        with pytest.raises(CampaignError):
+            session.run("scenario-set", shard="3/2")
+        with pytest.raises(ScenarioError):
+            # More shards than cells: some slice must come up empty.
+            session.run("scenario-set", shard=f"{expected + 1}/{expected + 1}")
+
 
 class TestCrashedWorkerRecovery:
     def test_pid_alive_probe(self):
