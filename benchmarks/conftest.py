@@ -10,7 +10,9 @@ Benches that measure a speedup additionally persist a machine-readable
 ``benchmarks/out/BENCH_<name>.json`` (``{"bench", "cells",
 "wall_seconds", "speedup"}``) alongside the prose — the CI
 benchmark-smoke job uploads both, so dashboards diff numbers instead
-of parsing tables.
+of parsing tables.  Each ``BENCH_*.json`` is also mirrored to the
+repository root (``BENCH_<name>.json``), where the committed copies
+form the performance trajectory across PRs.
 """
 
 from __future__ import annotations
@@ -24,6 +26,10 @@ import pytest
 from repro.core import ExperimentConfig
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Repository root: committed BENCH_*.json copies live here so the
+#: perf trajectory is versioned next to the code that produced it.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def env_workloads(default: tuple[str, ...]) -> tuple[str, ...]:
@@ -64,9 +70,9 @@ def artifacts():
                 "wall_seconds": wall_seconds,
                 "speedup": speedup,
             }
-            (OUT_DIR / f"BENCH_{name}.json").write_text(
-                json.dumps(bench, sort_keys=True) + "\n"
-            )
+            payload = json.dumps(bench, sort_keys=True) + "\n"
+            (OUT_DIR / f"BENCH_{name}.json").write_text(payload)
+            (REPO_ROOT / f"BENCH_{name}.json").write_text(payload)
         return path
 
     return write

@@ -25,6 +25,11 @@ Usage::
         --policy interference --policy baseline  # placement policies head to head
     repro sched decide G-CC:4 --machines 2       # one admission what-if
     repro --store .repro-store store ls --json   # scripted consumption
+    repro --store .repro-store store stats       # per-artifact run/cache stats
+    repro --store .repro-store campaign --workers 2 --telemetry  # record spans
+    repro --store .repro-store trace summary     # where did the wall time go?
+    repro --store .repro-store trace export --format chrome --out trace.json
+    repro -v --store .repro-store fig5           # INFO logging to stderr
 
 Experiment ids are artifact names in the runner registry
 (:mod:`repro.session.registry`): table1, fig2, table2, fig3, fig4,
@@ -74,7 +79,7 @@ from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 #: Non-artifact CLI commands sharing the experiment position
 #: ("scenario" doubles as a registered runner: bare `repro scenario`
 #: runs the default scenario, `repro scenario run ...` the subcommand).
-_COMMANDS = ("list", "run-all", "campaign", "store", "scenario", "sched")
+_COMMANDS = ("list", "run-all", "campaign", "store", "scenario", "sched", "trace")
 
 #: Shipped placement policies (mirrors repro.sched.policy.POLICIES;
 #: spelled out so parser construction stays import-light).
@@ -99,9 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
         "subargs",
         nargs="*",
         help="arguments for 'store' (ls | show <artifact-or-run-id> | gc | "
-        "diff <manifest-A> <manifest-B>), 'scenario' "
-        "(run <app[:threads]> ... | ls) and 'sched' "
-        "(replay | decide <app[:threads]>)",
+        "diff <manifest-A> <manifest-B> | stats), 'scenario' "
+        "(run <app[:threads]> ... | ls), 'sched' "
+        "(replay | decide <app[:threads]>) and 'trace' "
+        "(show | export | summary)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr: -v INFO, -vv DEBUG (default: warnings only)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress warnings on stderr (errors only)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans + metrics into <store>/telemetry during this "
+        "invocation (requires --store; inherited by campaign/pool "
+        "workers; never changes results — inspect with 'trace')",
     )
     parser.add_argument(
         "--workloads",
@@ -235,10 +261,30 @@ def build_parser() -> argparse.ArgumentParser:
         "tenants; default: an empty homogeneous cluster of --machines)",
     )
     parser.add_argument(
+        "--format",
+        choices=("chrome", "csv", "json"),
+        default=None,
+        help="for 'trace export': chrome (Perfetto-loadable trace-event "
+        "JSON, the default), csv (per-span-name summary rows) or json "
+        "(raw spans + merged metrics)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="for 'trace export': write to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="for 'trace show': print at most N spans (default: all)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable JSON output for 'sched', 'store ls' and "
-        "'scenario ls'",
+        help="machine-readable JSON output for 'sched', 'store ls', "
+        "'store stats', 'scenario ls' and 'trace show/summary'",
     )
     return parser
 
@@ -250,9 +296,10 @@ def _list_text() -> str:
         lines.append(f"  {name:<12} {runner.title}")
     lines.append(
         "commands: run-all [--shard I/N] (campaign + manifest), "
-        "campaign (multi-process run-all), store ls/show/gc/diff, "
+        "campaign (multi-process run-all), store ls/show/gc/diff/stats, "
         "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls, "
-        "sched replay [--trace seed:S:N] [--policy P ...] / decide APP[:T]"
+        "sched replay [--trace seed:S:N] [--policy P ...] / decide APP[:T], "
+        "trace show/export/summary (spans recorded with --telemetry)"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
@@ -342,6 +389,8 @@ def _store_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
             print(json.dumps(record.result, indent=1, default=str))
         print(json.dumps(record.provenance, indent=1))
         return 0
+    if sub == "stats":
+        return _store_stats(args, store)
     if sub == "gc":
         live = live_engine_fingerprints(config.spec, config.engine_config)
         summary = store.gc(live, dry_run=args.dry_run)
@@ -355,10 +404,81 @@ def _store_command(args: argparse.Namespace, config: ExperimentConfig) -> int:
             print(f"  {shard}")
         return 0
     print(
-        f"error: unknown store subcommand {sub!r}; use ls, show, gc or diff",
+        f"error: unknown store subcommand {sub!r}; use ls, show, gc, diff "
+        "or stats",
         file=sys.stderr,
     )
     return 2
+
+
+def _store_stats(args: argparse.Namespace, store) -> int:
+    """``repro store stats [--json]``: per-artifact run counts, total /
+    mean durations and cache-tier hit rates, aggregated from the merged
+    index (no record files are opened)."""
+    per: dict[str, dict] = {}
+    for entry in store.query():
+        agg = per.setdefault(
+            entry.artifact,
+            {"runs": 0, "total_s": 0.0, "memory": 0, "disk": 0, "engine": 0},
+        )
+        agg["runs"] += 1
+        agg["total_s"] += entry.duration_s
+        for key, count in entry.cache.items():
+            if not isinstance(count, int) or count <= 0:
+                continue
+            if key.endswith("_disk_hits"):
+                agg["disk"] += count
+            elif key.endswith("_hits"):
+                agg["memory"] += count
+            elif key.endswith("_misses"):
+                agg["engine"] += count
+    stats = {}
+    for name, agg in sorted(per.items()):
+        lookups = agg["memory"] + agg["disk"] + agg["engine"]
+        stats[name] = {
+            "runs": agg["runs"],
+            "total_s": agg["total_s"],
+            "mean_s": agg["total_s"] / agg["runs"],
+            "lookups": lookups,
+            "memory_hits": agg["memory"],
+            "disk_hits": agg["disk"],
+            "engine_runs": agg["engine"],
+            "hit_rate": (
+                (agg["memory"] + agg["disk"]) / lookups if lookups else 0.0
+            ),
+        }
+    if args.json:
+        print(
+            json.dumps(
+                {"store": str(store.root), "artifacts": stats}, sort_keys=True
+            )
+        )
+        return 0
+    from repro.core.report import ascii_table
+
+    rows = [
+        [
+            name,
+            s["runs"],
+            f"{s['total_s']:.3f}",
+            f"{s['mean_s']:.3f}",
+            s["memory_hits"],
+            s["disk_hits"],
+            s["engine_runs"],
+            f"{s['hit_rate'] * 100:.1f}%",
+        ]
+        for name, s in stats.items()
+    ]
+    print(
+        ascii_table(
+            ["artifact", "runs", "total s", "mean s", "mem", "disk", "engine", "hit rate"],
+            rows,
+            title=f"{sum(s['runs'] for s in stats.values())} run(s) of "
+            f"{len(stats)} artifact(s) in {store.root}",
+        ),
+        end="",
+    )
+    return 0
 
 
 def _by_name(specs, parse, flag: str) -> dict:
@@ -552,6 +672,88 @@ def _sched_command(args: argparse.Namespace, session: Session) -> int:
     return 2
 
 
+def _trace_command(args: argparse.Namespace) -> int:
+    """``repro trace show [--limit N] / export [--format F] [--out P] /
+    summary`` over ``<store>/telemetry`` (recorded with ``--telemetry``)."""
+    from repro.telemetry.export import (
+        chrome_trace,
+        metrics_snapshot,
+        read_spans,
+        render_summary,
+        summarize,
+        summary_rows,
+    )
+
+    if args.store is None:
+        print("error: 'trace' requires --store DIR", file=sys.stderr)
+        return 2
+    root = Path(args.store) / "telemetry"
+    sub = args.subargs[0] if args.subargs else "summary"
+    if len(args.subargs) > 1:
+        print(
+            f"error: unexpected argument(s): {' '.join(args.subargs[1:])}",
+            file=sys.stderr,
+        )
+        return 2
+    if sub not in ("show", "export", "summary"):
+        print(
+            f"error: unknown trace subcommand {sub!r}; use show, export "
+            "or summary",
+            file=sys.stderr,
+        )
+        return 2
+    spans = read_spans(root)
+    if not spans:
+        print(
+            f"no telemetry under {root} (record a run with --telemetry)",
+            file=sys.stderr,
+        )
+        return 1
+    if sub == "show":
+        shown = spans if args.limit is None else spans[: args.limit]
+        if args.json:
+            for span in shown:
+                print(json.dumps(span, sort_keys=True))
+        else:
+            base = spans[0]["ts"]
+            for span in shown:
+                tags = " ".join(
+                    f"{k}={v}" for k, v in sorted((span.get("tags") or {}).items())
+                )
+                print(
+                    f"+{span['ts'] - base:10.6f}s pid={span['pid']:<7} "
+                    f"{span['dur_s'] * 1e3:9.3f}ms {span['name']:<22} {tags}"
+                )
+            if len(shown) < len(spans):
+                print(f"... {len(spans) - len(shown)} more span(s); raise --limit")
+        return 0
+    if sub == "export":
+        fmt = args.format or "chrome"
+        if fmt == "chrome":
+            payload = json.dumps(chrome_trace(spans))
+        elif fmt == "json":
+            payload = json.dumps(
+                {"spans": spans, "metrics": metrics_snapshot(root)},
+                sort_keys=True,
+            )
+        else:
+            payload = "\n".join(
+                ",".join(row) for row in summary_rows(summarize(spans))
+            )
+        if args.out is not None:
+            Path(args.out).write_text(payload + "\n", encoding="utf-8")
+            print(f"wrote {len(spans)} span(s) to {args.out} [{fmt}]")
+        else:
+            print(payload)
+        return 0
+    summary = summarize(spans)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(render_summary(summary), end="")
+    return 0
+
+
 def _run_all(args: argparse.Namespace, session: Session) -> int:
     """Execute every registered runner (or one ``--shard I/N`` slice of
     them) and freeze the campaign manifest."""
@@ -681,13 +883,41 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Map ``-q`` / ``-v`` / ``-vv`` onto stdlib logging to stderr.
+
+    The package modules (session, store, campaign, sched) log through
+    ``logging.getLogger(__name__)``; default visibility is WARNING so
+    normal runs stay byte-identical on stdout.
+    """
+    import logging
+
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
+    if args.quiet and args.verbose:
+        print("error: --quiet and --verbose are mutually exclusive", file=sys.stderr)
+        return 2
+    _configure_logging(args)
     if args.experiment == "list":
         print(_list_text())
         return 0
-    if args.experiment not in ("store", "scenario", "sched") and args.subargs:
+    if args.experiment not in ("store", "scenario", "sched", "trace") and args.subargs:
         print(
             f"error: unexpected argument(s): {' '.join(args.subargs)}",
             file=sys.stderr,
@@ -706,15 +936,38 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    json_ok = args.experiment == "sched" or (
-        args.experiment == "store" and (not args.subargs or args.subargs[0] == "ls")
-    ) or (args.experiment == "scenario" and args.subargs[:1] == ["ls"])
+    json_ok = (
+        args.experiment == "sched"
+        or (
+            args.experiment == "store"
+            and (not args.subargs or args.subargs[0] in ("ls", "stats"))
+        )
+        or (args.experiment == "scenario" and args.subargs[:1] == ["ls"])
+        or (
+            args.experiment == "trace"
+            and (not args.subargs or args.subargs[0] in ("show", "summary"))
+        )
+    )
     if args.json and not json_ok:
         print(
-            "error: --json only applies to 'sched', 'store ls' and "
-            "'scenario ls'",
+            "error: --json only applies to 'sched', 'store ls/stats', "
+            "'scenario ls' and 'trace show/summary' "
+            "(use 'trace export --format json' for raw spans)",
             file=sys.stderr,
         )
+        return 2
+    if args.experiment != "trace" and (
+        args.format is not None or args.out is not None or args.limit is not None
+    ):
+        print(
+            "error: --format/--out/--limit only apply to 'trace'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.telemetry and args.store is None:
+        # The sink lives inside the store so traces travel with the
+        # campaign they describe; refuse a homeless --telemetry.
+        print("error: --telemetry requires --store DIR", file=sys.stderr)
         return 2
     if args.experiment not in _SCENARIO_ARTIFACTS and (
         args.llc_policy is not None or args.smt
@@ -747,31 +1000,43 @@ def main(argv: list[str] | None = None) -> int:
         print("error: run-all --shard requires --store DIR", file=sys.stderr)
         return 2
     try:
-        config = _build_config(args)
-        if args.experiment == "store":
-            return _store_command(args, config)
-        if args.experiment == "campaign":
-            return _campaign_command(args, config)
-        session = Session(
-            config,
-            executor=_resolve_executor_arg(args),
-            store=args.store,
-            chunksize=args.chunksize,
-        )
-        if args.experiment == "run-all":
-            return _run_all(args, session)
-        if args.experiment == "scenario" and args.subargs:
-            return _scenario_command(args, session)
-        if args.experiment == "sched":
-            return _sched_command(args, session)
-        runner = get_runner(args.experiment)
-        kwargs = (
-            {"llc_policy": args.llc_policy, "smt": args.smt}
-            if args.experiment in _SCENARIO_ARTIFACTS
-            else {}
-        )
-        record = session.run(args.experiment, **kwargs)
-        print(runner.render(record.result, csv=args.csv))
+        if args.experiment == "trace":
+            return _trace_command(args)
+        if args.telemetry:
+            from repro.telemetry.tracer import enable as _telemetry_enable
+
+            _telemetry_enable(Path(args.store) / "telemetry")
+        try:
+            config = _build_config(args)
+            if args.experiment == "store":
+                return _store_command(args, config)
+            if args.experiment == "campaign":
+                return _campaign_command(args, config)
+            session = Session(
+                config,
+                executor=_resolve_executor_arg(args),
+                store=args.store,
+                chunksize=args.chunksize,
+            )
+            if args.experiment == "run-all":
+                return _run_all(args, session)
+            if args.experiment == "scenario" and args.subargs:
+                return _scenario_command(args, session)
+            if args.experiment == "sched":
+                return _sched_command(args, session)
+            runner = get_runner(args.experiment)
+            kwargs = (
+                {"llc_policy": args.llc_policy, "smt": args.smt}
+                if args.experiment in _SCENARIO_ARTIFACTS
+                else {}
+            )
+            record = session.run(args.experiment, **kwargs)
+            print(runner.render(record.result, csv=args.csv))
+        finally:
+            if args.telemetry:
+                from repro.telemetry.tracer import disable as _telemetry_disable
+
+                _telemetry_disable()
     except StoreError as exc:
         print(f"store error: {exc}", file=sys.stderr)
         return 2

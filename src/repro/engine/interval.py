@@ -37,6 +37,7 @@ from repro.engine.results import (
     SoloRunResult,
 )
 from repro.machine.spec import MachineSpec, xeon_e5_4650
+from repro.telemetry.tracer import get_tracer
 from repro.units import CACHE_LINE
 from repro.workloads.base import RegionProfile, WorkloadProfile
 
@@ -460,6 +461,19 @@ class IntervalEngine:
         max_dt: float = 5.0,
     ) -> SoloRunResult:
         """Run one application alone on the machine."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("engine.solo_run", app=profile.name, threads=threads):
+                return self._solo_run(profile, threads=threads, max_dt=max_dt)
+        return self._solo_run(profile, threads=threads, max_dt=max_dt)
+
+    def _solo_run(
+        self,
+        profile: WorkloadProfile,
+        *,
+        threads: int = 4,
+        max_dt: float = 5.0,
+    ) -> SoloRunResult:
         if threads < 1 or threads > self.spec.n_slots:
             raise EngineError(f"threads must be in [1, {self.spec.n_slots}]")
         app = _LiveApp(
@@ -574,6 +588,45 @@ class IntervalEngine:
         align with ``profiles`` and are validated against the machine
         spec; omitting them keeps the unpartitioned model bit-identical.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "engine.scenario_run",
+                apps="+".join(
+                    f"{p.name}:{t}" for p, t in zip(profiles, threads)
+                ),
+                n=len(profiles),
+            ):
+                return self._scenario_run(
+                    profiles,
+                    threads,
+                    fg_solo_runtime_s=fg_solo_runtime_s,
+                    bg_solo_rates=bg_solo_rates,
+                    llc_ways=llc_ways,
+                    pinnings=pinnings,
+                    max_dt=max_dt,
+                )
+        return self._scenario_run(
+            profiles,
+            threads,
+            fg_solo_runtime_s=fg_solo_runtime_s,
+            bg_solo_rates=bg_solo_rates,
+            llc_ways=llc_ways,
+            pinnings=pinnings,
+            max_dt=max_dt,
+        )
+
+    def _scenario_run(
+        self,
+        profiles: "list[WorkloadProfile] | tuple[WorkloadProfile, ...]",
+        threads: "list[int] | tuple[int, ...]",
+        *,
+        fg_solo_runtime_s: float | None = None,
+        bg_solo_rates: "list[float] | tuple[float, ...] | None" = None,
+        llc_ways: "list[int | None] | tuple[int | None, ...] | None" = None,
+        pinnings: "list[tuple[int, ...] | None] | None" = None,
+        max_dt: float = 5.0,
+    ) -> ScenarioRunResult:
         if not profiles:
             raise EngineError("a scenario needs at least one application")
         if len(threads) != len(profiles):

@@ -33,6 +33,7 @@ like any figure.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, replace
 from typing import Any
 
@@ -43,6 +44,9 @@ from repro.sched.cluster import Cluster, Tenant
 from repro.sched.policy import Decision, PlacementPolicy, get_policy
 from repro.sched.score import PlacementEvaluator
 from repro.sched.trace import ArrivalTrace
+from repro.telemetry.tracer import get_tracer
+
+logger = logging.getLogger(__name__)
 
 #: Work-remaining epsilon: below this many solo-seconds a tenant is done.
 _EPS = 1e-9
@@ -81,9 +85,37 @@ class Scheduler:
 
     def arrival(self, tenant: Tenant, *, time_s: float = 0.0) -> Decision:
         """Decide one arrival; admitted layouts are applied (residents
-        re-partitioned, the tenant seated with its assigned mask/pins)."""
-        decision, candidate = self.policy.decide(
-            self.cluster, tenant, self.evaluator, slo=self.slo, time_s=time_s
+        re-partitioned, the tenant seated with its assigned mask/pins).
+
+        Telemetry: one ``sched.decide`` span per arrival, tagged with
+        the tenant, its workload and the admit/reject outcome.  The
+        span only observes — the decision log stays byte-identical with
+        tracing on or off.
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "sched.decide",
+                tenant=tenant.tenant,
+                workload=tenant.workload,
+                threads=tenant.threads,
+            ) as sp:
+                decision, candidate = self.policy.decide(
+                    self.cluster, tenant, self.evaluator, slo=self.slo, time_s=time_s
+                )
+                sp.tag("admitted", decision.admitted)
+                if decision.machine is not None:
+                    sp.tag("machine", decision.machine)
+        else:
+            decision, candidate = self.policy.decide(
+                self.cluster, tenant, self.evaluator, slo=self.slo, time_s=time_s
+            )
+        logger.debug(
+            "decide %s (%s:%d): %s",
+            tenant.tenant,
+            tenant.workload,
+            tenant.threads,
+            "admit on %s" % decision.machine if decision.admitted else "reject",
         )
         if decision.admitted and candidate is not None:
             machine = self.cluster.machine(candidate.machine)
@@ -296,7 +328,55 @@ def replay_trace(
 ) -> ReplayReport:
     """Replay a trace through one policy over a fresh cluster (or the
     given one) and simulate the tenants' lifetimes.  See the module
-    docstring for the time model."""
+    docstring for the time model.
+
+    Telemetry: the whole replay runs under a ``sched.replay`` span and,
+    when tracing is enabled, the report's headline numbers are published
+    as ``sched.<policy>.*`` gauges.  Simulated time is unaffected.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        report = _replay_trace_impl(
+            trace, evaluator, machines=machines, policy=policy, slo=slo,
+            cluster=cluster,
+        )
+    else:
+        with tracer.span(
+            "sched.replay",
+            policy=policy,
+            machines=machines if cluster is None else len(list(cluster)),
+            arrivals=sum(1 for e in trace.events if e.kind == "arrival"),
+        ) as sp:
+            report = _replay_trace_impl(
+                trace, evaluator, machines=machines, policy=policy, slo=slo,
+                cluster=cluster,
+            )
+            sp.tag("sim_time_s", round(report.sim_time_s, 6))
+            for key, value in (
+                ("violations", report.violations),
+                ("rejected", report.rejections),
+                ("p95_slowdown", report.p95_slowdown),
+                ("utilization", report.utilization),
+            ):
+                tracer.metrics.gauge(f"sched.{report.policy}.{key}").set(
+                    float(value)
+                )
+    logger.info(
+        "replayed %d event(s) through %s: sim_time=%.3fs",
+        len(trace.events), report.policy, report.sim_time_s,
+    )
+    return report
+
+
+def _replay_trace_impl(
+    trace: ArrivalTrace,
+    evaluator: PlacementEvaluator,
+    *,
+    machines: int,
+    policy: str,
+    slo: float,
+    cluster: Cluster | None,
+) -> ReplayReport:
     if cluster is None:
         cluster = Cluster.homogeneous(machines, evaluator.session.spec)
     sched = Scheduler(cluster, get_policy(policy), evaluator, slo=slo)

@@ -38,6 +38,7 @@ Usage::
 from __future__ import annotations
 
 import inspect
+import logging
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Iterable
@@ -64,10 +65,32 @@ from repro.session.scenario import (
     scenario_pinnings,
     scenario_way_masks,
 )
+from repro.telemetry.tracer import get_tracer
 from repro.workloads.base import WorkloadProfile
 from repro.workloads.registry import get_profile
 
 __all__ = ["CacheStats", "Session", "fingerprint"]
+
+logger = logging.getLogger(__name__)
+
+def _served_tier(delta: dict[str, int]) -> str:
+    """Which cache tier answered one lookup, judged from a CacheStats
+    delta: any simulation makes it ``engine``, else ``disk``, else
+    ``memory``.  Uncacheable scenarios move no counters but always
+    simulate, so the fall-through default is ``engine`` too."""
+    if any(
+        delta.get(k, 0) > 0
+        for k in ("solo_misses", "corun_misses", "scenario_misses")
+    ):
+        return "engine"
+    if any(
+        delta.get(k, 0) > 0
+        for k in ("solo_disk_hits", "corun_disk_hits", "scenario_disk_hits")
+    ):
+        return "disk"
+    if any(delta.get(k, 0) > 0 for k in ("solo_hits", "corun_hits", "scenario_hits")):
+        return "memory"
+    return "engine"
 
 
 @dataclass
@@ -520,7 +543,23 @@ class Session:
         pair special case of this method).  N-way and SMT shapes run
         through the scenario cache tier; uncacheable scenarios (in-band
         profiles) simulate directly every time.
+
+        With telemetry enabled, each call emits a
+        ``session.run_scenario`` span tagged with the cache tier that
+        answered (``memory`` / ``disk`` / ``engine``); the span is
+        out-of-band and the returned result is byte-identical either
+        way.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run_scenario_impl(scenario)
+        before = self.stats.snapshot()
+        with tracer.span("session.run_scenario", apps=scenario.label) as sp:
+            result = self._run_scenario_impl(scenario)
+            sp.tag("tier", _served_tier(self.stats.delta_since(before)))
+        return result
+
+    def _run_scenario_impl(self, scenario: Scenario) -> ScenarioResult:
         engine_fp, engine_config, spec, canon = self._scenario_parts(scenario)
         pair = scenario.corun_key()
         if pair is not None:
@@ -595,6 +634,19 @@ class Session:
         fig8-style cells amortize dispatch overhead with chunks > 1).
         """
         scens = list(scenarios)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run_scenarios_impl(scens, chunksize)
+        with tracer.span(
+            "session.run_scenarios",
+            cells=len(scens),
+            executor=self.executor.name,
+        ):
+            return self._run_scenarios_impl(scens, chunksize)
+
+    def _run_scenarios_impl(
+        self, scens: "list[Scenario]", chunksize: int | None
+    ) -> list[ScenarioResult]:
         direct: dict[int, ScenarioRunResult] = {}
         if self.executor.parallel and len(scens) > 1:
             tasks: list[_ScenarioTask] = []
@@ -656,9 +708,14 @@ class Session:
         cached = self._artifacts.get(memo_key)
         if cached is not None:
             return cached
+        tracer = get_tracer()
         before = self.stats.snapshot()
         t0 = time.perf_counter()
-        result = runner.execute(self, **kwargs)
+        if tracer.enabled:
+            with tracer.span("session.run", artifact=name):
+                result = runner.execute(self, **kwargs)
+        else:
+            result = runner.execute(self, **kwargs)
         duration = time.perf_counter() - t0
         record = RunRecord(
             artifact=name,
@@ -685,6 +742,14 @@ class Session:
         self._artifacts[memo_key] = record
         if self.store is not None:
             self.store.record(record)
+        cache_delta = record.provenance["cache"]
+        tracer.merge_counters("cache", cache_delta)
+        logger.info(
+            "artifact %s finished in %.3fs (cache delta: %s)",
+            name,
+            duration,
+            {k: v for k, v in cache_delta.items() if v},
+        )
         return record
 
     def run_all(

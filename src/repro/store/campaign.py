@@ -40,6 +40,7 @@ an artifact twice concurrently.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -50,8 +51,11 @@ from typing import Any, Sequence
 from repro.errors import CampaignError
 from repro.session.registry import runner_names
 from repro.store.store import ResultStore, _safe_name
+from repro.telemetry.tracer import get_tracer
 
 __all__ = ["parse_shard", "run_campaign", "shard_names"]
+
+logger = logging.getLogger(__name__)
 
 
 def parse_shard(spec: str) -> tuple[int, int]:
@@ -197,23 +201,45 @@ def _campaign_worker(task: _CampaignTask) -> dict[str, Any]:
 
     Every worker walks the same heaviest-first list; the claim race is
     what assigns each next-heaviest artifact to the next free worker
-    (greedy LPT scheduling)."""
+    (greedy LPT scheduling).
+
+    With telemetry enabled (inherited via ``REPRO_TELEMETRY``), the
+    worker's lifecycle is phase-tagged: one ``campaign.worker`` span
+    per phase (``PREPARING`` — store/session construction, ``RUNNING``
+    — the claim/run loop with one nested ``campaign.artifact`` span per
+    claimed artifact); the driver emits the ``MERGED`` phase around the
+    manifest freeze.  Each worker process writes its own telemetry
+    segment — one Chrome-trace lane per worker pid."""
     from repro.session.session import Session
 
-    store = ResultStore(task.store_root)
-    session = Session(
-        task.config,
-        store=store,
-        executor=task.executor,
-        chunksize=task.chunksize,
-    )
+    tracer = get_tracer()
+    with tracer.span("campaign.worker", phase="PREPARING"):
+        store = ResultStore(task.store_root)
+        session = Session(
+            task.config,
+            store=store,
+            executor=task.executor,
+            chunksize=task.chunksize,
+        )
     claim_dir = Path(task.claim_dir)
     done: list[str] = []
-    for name in task.names:
-        if not _claim(claim_dir, name):
-            continue
-        session.run(name)
-        done.append(name)
+    with tracer.span("campaign.worker", phase="RUNNING") as wsp:
+        for name in task.names:
+            if not _claim(claim_dir, name):
+                continue
+            logger.info("worker %d claimed %s", os.getpid(), name)
+            if tracer.enabled:
+                tracer.metrics.counter("campaign.claimed").inc()
+                with tracer.span(
+                    "campaign.artifact", artifact=name, phase="RUNNING"
+                ):
+                    session.run(name)
+                tracer.metrics.counter("campaign.completed").inc()
+            else:
+                session.run(name)
+            done.append(name)
+        wsp.tag("claimed", len(done))
+    tracer.flush()
     return {
         "pid": os.getpid(),
         "done": done,
@@ -310,6 +336,11 @@ def run_campaign(
         # Re-queue inline in the driver process, heaviest first.  The
         # shared store already holds everything the dead worker
         # persisted before dying, so this is mostly disk hits.
+        logger.warning(
+            "re-queuing %d artifact(s) from dead worker claim(s): %s",
+            len(missing),
+            ", ".join(missing),
+        )
         report = _campaign_worker(replace(tasks[0], names=tuple(missing)))
         recovered = list(report["done"])
         report["recovered"] = recovered
@@ -326,13 +357,14 @@ def run_campaign(
         )
     from repro.store.manifest import write_manifest_from_store
 
-    manifest = write_manifest_from_store(
-        store,
-        config,
-        manifest_path,
-        executor_name=f"campaign[{workers}]",
-        include_extensions=include_extensions,
-    )
+    with get_tracer().span("campaign.worker", phase="MERGED", workers=workers):
+        manifest = write_manifest_from_store(
+            store,
+            config,
+            manifest_path,
+            executor_name=f"campaign[{workers}]",
+            include_extensions=include_extensions,
+        )
     import shutil
 
     shutil.rmtree(claim_dir, ignore_errors=True)

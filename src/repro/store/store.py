@@ -43,6 +43,7 @@ Durability rules under many concurrent writer processes:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import threading
@@ -70,6 +71,8 @@ from repro.store.codec import (
 
 #: Version of the on-disk layout; bumped on incompatible change.
 SCHEMA_VERSION = 1
+
+logger = logging.getLogger(__name__)
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -280,6 +283,17 @@ class RecordSink:
         buffered write under a thread lock, so even thread-pool callers
         sharing one sink cannot interleave lines.
         """
+        from repro.telemetry.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("store.append", artifact=record.artifact) as sp:
+                entry = self._append_impl(record)
+                sp.tag("run_id", entry.run_id)
+            return entry
+        return self._append_impl(record)
+
+    def _append_impl(self, record: RunRecord) -> IndexEntry:
         prov = record.provenance
         run_id = self.run_id_for(record)
         relpath = self.record_relpath(record, run_id)
@@ -302,6 +316,7 @@ class RecordSink:
             segment.parent.mkdir(parents=True, exist_ok=True)
             with open(segment, "a", encoding="utf-8") as fh:
                 fh.write(entry.to_line() + "\n")
+        logger.debug("appended %s -> %s", run_id, relpath)
         return entry
 
     def index_files(self) -> list[Path]:

@@ -1,0 +1,171 @@
+"""The metrics registry: counters, gauges, histograms, one snapshot.
+
+Before this module, the pipeline's operational numbers lived in four
+unrelated shapes: :class:`~repro.session.session.CacheStats` dataclass
+counters, the store's disk-hit fields inside provenance ``cache``
+dicts, campaign worker progress dicts, and the scheduler's
+:class:`~repro.sched.scheduler.ReplayReport` aggregates.  The
+:class:`MetricsRegistry` unifies them behind one mutation API
+(``counter/gauge/histogram``) and one read API (:meth:`snapshot`):
+
+* **counters** — monotonically increasing event counts
+  (``cache.solo_disk_hits``, ``campaign.artifacts_done``);
+* **gauges** — last-written values (``sched.interference.p95_slowdown``);
+* **histograms** — streaming count/sum/min/max aggregates of observed
+  values, never the raw samples (``span.engine.scenario_run`` records
+  every span duration).
+
+The registry is in-process state; the active
+:class:`~repro.telemetry.tracer.Tracer` persists its snapshot as a
+``{"kind": "metrics"}`` line in the telemetry sink (one cumulative
+snapshot per flush, last-per-pid wins on read), which is how
+``repro trace summary`` aggregates metrics across campaign workers.
+
+Thread safety: all mutations take the registry lock, so thread-pool
+executors sharing one tracer cannot tear a histogram update.  Process
+safety comes from the sink layout (one segment per pid), not from this
+module.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming aggregate of observed values (no raw samples kept)."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with one :meth:`snapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def merge_counts(self, prefix: str, counts: Mapping[str, Any]) -> None:
+        """Fold a plain counter dict (e.g. a ``CacheStats`` snapshot or
+        a provenance ``cache`` delta) into prefixed counters; non-int
+        and negative values are ignored rather than corrupting totals."""
+        for key, value in counts.items():
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                continue
+            self.counter(f"{prefix}.{key}" if prefix else key).inc(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-ready view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.snapshot() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+
+def merge_snapshots(snapshots: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Combine per-process metric snapshots (``repro trace summary``
+    over a campaign: one snapshot per worker pid).  Counters and
+    histogram aggregates sum; gauges keep the last value seen."""
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        for k, v in (snap.get("counters") or {}).items():
+            counters[k] = counters.get(k, 0) + int(v)
+        for k, v in (snap.get("gauges") or {}).items():
+            gauges[k] = float(v)
+        for k, h in (snap.get("histograms") or {}).items():
+            agg = histograms.setdefault(
+                k, {"count": 0, "sum": 0.0, "min": float("inf"), "max": float("-inf")}
+            )
+            if not h.get("count"):
+                continue
+            agg["count"] += int(h["count"])
+            agg["sum"] += float(h["sum"])
+            agg["min"] = min(agg["min"], float(h["min"]))
+            agg["max"] = max(agg["max"], float(h["max"]))
+    for k, agg in histograms.items():
+        if agg["count"]:
+            agg["mean"] = agg["sum"] / agg["count"]
+        else:
+            agg.update(min=0.0, max=0.0, mean=0.0)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

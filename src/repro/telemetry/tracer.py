@@ -1,0 +1,346 @@
+"""Span tracer with a process-safe JSONL sink.
+
+One :class:`Tracer` per process writes **its own** segment file under
+the telemetry root (``<store>/telemetry/<pid>-<token>.jsonl`` — the
+same never-share-a-file pattern as the store's index segments), so any
+number of campaign workers, pool workers and the driver can trace into
+one store concurrently without a lock between processes.  Each line is
+one event::
+
+    {"kind": "span", "schema": 1, "name": "engine.scenario_run",
+     "ts": <epoch-seconds at start>, "dur_s": <monotonic duration>,
+     "pid": 1234, "tid": 140.., "status": "ok", "tags": {...}}
+    {"kind": "metrics", "schema": 1, "ts": ..., "pid": 1234,
+     "data": {"counters": ..., "gauges": ..., "histograms": ...}}
+
+Durations come from ``time.perf_counter()`` (monotonic — a wall-clock
+step cannot produce negative spans); ``ts`` is wall-clock only so the
+exporters can align lanes from different processes on one timeline.
+
+**Determinism contract**: telemetry is strictly out-of-band.  Nothing
+here ever feeds back into results, cache keys, records, manifests or
+decision logs — with tracing on, every simulated number is
+byte-identical to the untraced run; only the side files under
+``telemetry/`` differ (they hold all the timestamps).
+
+**Disabled means free**: the module-level tracer defaults to
+:data:`NULL_TRACER`, whose ``enabled`` is ``False``; instrumented call
+sites check that one attribute and skip even building their tag dicts,
+so an untraced run does no extra work and opens no files.
+
+Activation is process-inheritable: :func:`enable` exports
+``REPRO_TELEMETRY=<dir>`` so forked/spawned workers (campaign
+processes, scenario pool workers) construct their own tracer into the
+same directory on first use — which is exactly what gives the Chrome
+trace one lane per worker pid.  A tracer that leaks across a ``fork``
+(module globals are copied) re-homes itself to a fresh segment the
+first time the child writes, so two processes never append to one
+file.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+import time
+import weakref
+from pathlib import Path
+from typing import Any, IO
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "ENV_VAR",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_tracer",
+    "span",
+]
+
+#: Version of the event-line schema; bumped on incompatible change.
+SCHEMA_VERSION = 1
+
+#: Environment variable carrying the telemetry root into child
+#: processes; set by :func:`enable`, honoured by :func:`get_tracer`.
+ENV_VAR = "REPRO_TELEMETRY"
+
+
+class Span:
+    """One timed operation; close it (or use it as a context manager)."""
+
+    __slots__ = ("name", "tags", "ts", "pid", "tid", "dur_s", "_t0", "_tracer", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.ts = time.time()
+        self.dur_s = 0.0
+        self._t0 = time.perf_counter()
+        self._done = False
+
+    def tag(self, key: str, value: Any) -> "Span":
+        """Attach/overwrite one tag (chainable); call before close."""
+        self.tags[key] = value
+        return self
+
+    def close(self, status: str = "ok") -> None:
+        if self._done:  # idempotent: context-manager exit after close()
+            return
+        self._done = True
+        self.dur_s = time.perf_counter() - self._t0
+        self._tracer._finish(self, status)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close("error" if exc_type is not None else "ok")
+
+
+class _NullSpan:
+    """The do-nothing span the null tracer hands out (one shared
+    instance; ``tag`` discards, enter/exit are no-ops)."""
+
+    __slots__ = ()
+
+    def tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def close(self, status: str = "ok") -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Absent telemetry: every operation is a no-op.
+
+    ``enabled`` is the one attribute hot paths read — when ``False``
+    they skip tag construction entirely, so this class's methods only
+    run for call sites that did not bother guarding (which is also
+    fine: they cost a method call and nothing else).
+    """
+
+    enabled = False
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def merge_counters(self, prefix: str, counts: Any) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Writes spans + metric snapshots to a private JSONL segment."""
+
+    enabled = True
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = None
+        self._segment: Path | None = None
+        self._segment_pid: int | None = None
+        # Flush the final metrics snapshot on clean interpreter exit —
+        # pool/campaign workers end by process exit, not by an explicit
+        # tracer shutdown.
+        atexit.register(self._atexit_flush)
+        # A fork child inherits this tracer (module globals are copied)
+        # including the parent's accumulated metrics; without a reset its
+        # final snapshot would re-report the parent's counts and the
+        # cross-pid merge would double-count them.  Weakref so dead
+        # tracers from enable/disable cycles don't pile up in the hook.
+        if hasattr(os, "register_at_fork"):  # pragma: no branch
+            ref = weakref.ref(self)
+            os.register_at_fork(
+                after_in_child=lambda: _reset_child_tracer(ref())
+            )
+
+    # -- sink ---------------------------------------------------------------
+
+    def segment_path(self) -> Path:
+        """This process's private segment (lazily created).
+
+        Re-checked against the live pid on every use: a tracer copied
+        into a child by ``fork`` abandons the parent's handle and opens
+        its own segment, so no two processes ever share a file.
+        """
+        pid = os.getpid()
+        if self._segment is None or self._segment_pid != pid:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:  # pragma: no cover - parent fd already gone
+                    pass
+                self._fh = None
+            token = os.urandom(4).hex()
+            self._segment = self.root / f"{pid}-{token}.jsonl"
+            self._segment_pid = pid
+        return self._segment
+
+    def _write_line(self, payload: dict[str, Any]) -> None:
+        with self._lock:
+            segment = self.segment_path()
+            if self._fh is None:
+                segment.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(segment, "a", encoding="utf-8")
+            self._fh.write(json.dumps(payload, default=str) + "\n")
+            self._fh.flush()
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a span; close it via context manager or ``close()``."""
+        return Span(self, name, tags)
+
+    def _finish(self, span: Span, status: str) -> None:
+        self._write_line(
+            {
+                "kind": "span",
+                "schema": SCHEMA_VERSION,
+                "name": span.name,
+                "ts": span.ts,
+                "dur_s": span.dur_s,
+                "pid": os.getpid(),
+                "tid": span.tid,
+                "status": status,
+                "tags": span.tags,
+            }
+        )
+        self.metrics.histogram(f"span.{span.name}").observe(span.dur_s)
+        tier = span.tags.get("tier")
+        if tier is not None:
+            self.metrics.counter(f"tier.{tier}").inc()
+
+    # -- metrics ------------------------------------------------------------
+
+    def merge_counters(self, prefix: str, counts: Any) -> None:
+        """Fold a plain counter dict into the registry (see
+        :meth:`MetricsRegistry.merge_counts`)."""
+        if counts:
+            self.metrics.merge_counts(prefix, counts)
+
+    def flush(self) -> None:
+        """Persist the current cumulative metrics snapshot as one
+        ``{"kind": "metrics"}`` line (readers keep the last per pid)."""
+        self._write_line(
+            {
+                "kind": "metrics",
+                "schema": SCHEMA_VERSION,
+                "ts": time.time(),
+                "pid": os.getpid(),
+                "data": self.metrics.snapshot(),
+            }
+        )
+
+    def _atexit_flush(self) -> None:
+        # Only flush from the process that actually wrote spans — a
+        # forked child that traced nothing should not create a segment
+        # at interpreter exit just to store empty metrics.
+        if self._fh is not None and self._segment_pid == os.getpid():
+            try:
+                self.flush()
+            except OSError:  # pragma: no cover - sink dir removed at exit
+                pass
+
+    def _after_fork(self) -> None:
+        """Start from scratch in a fork child: the parent owns the open
+        segment handle and every metric recorded so far."""
+        self._fh = None
+        self._segment = None
+        self._segment_pid = None
+        self._lock = threading.Lock()
+        self.metrics = MetricsRegistry()
+
+    def close(self) -> None:
+        """Flush metrics and release the segment handle.
+
+        Unlike the atexit path this flushes even if no span was ever
+        written — ``enable(); metrics work; disable()`` must not drop
+        the snapshot on the floor.
+        """
+        snap = self.metrics.snapshot()
+        recorded = any(snap[group] for group in ("counters", "gauges", "histograms"))
+        if self._segment_pid in (None, os.getpid()) and (
+            self._fh is not None or recorded
+        ):
+            self.flush()
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._fh = None
+
+
+def _reset_child_tracer(tracer: "Tracer | None") -> None:
+    if tracer is not None:
+        tracer._after_fork()
+
+
+#: The process-wide tracer; ``None`` = not yet resolved against the
+#: environment (first :func:`get_tracer` call decides).
+_tracer: "Tracer | NullTracer | None" = None
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The active tracer: the null tracer unless :func:`enable` ran in
+    this process or ``REPRO_TELEMETRY`` is set (how forked/spawned
+    workers inherit tracing)."""
+    global _tracer
+    if _tracer is None:
+        root = os.environ.get(ENV_VAR)
+        _tracer = Tracer(root) if root else NULL_TRACER
+    return _tracer
+
+
+def enable(root: "str | os.PathLike[str]") -> Tracer:
+    """Turn tracing on for this process *and its children* (the root is
+    exported as ``REPRO_TELEMETRY``).  Returns the live tracer."""
+    global _tracer
+    if isinstance(_tracer, Tracer):
+        _tracer.close()
+    tracer = Tracer(root)
+    os.environ[ENV_VAR] = str(root)
+    _tracer = tracer
+    return tracer
+
+
+def disable() -> None:
+    """Flush and turn tracing off (children stop inheriting it too)."""
+    global _tracer
+    if isinstance(_tracer, Tracer):
+        _tracer.close()
+    os.environ.pop(ENV_VAR, None)
+    _tracer = NULL_TRACER
+
+
+def span(name: str, **tags: Any) -> "Span | _NullSpan":
+    """Convenience: a span on the active tracer (hot paths should
+    instead cache ``get_tracer()`` and guard on ``.enabled`` so tag
+    construction is skipped when tracing is off)."""
+    return get_tracer().span(name, **tags)

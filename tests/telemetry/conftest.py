@@ -1,0 +1,24 @@
+"""Telemetry tests mutate process-wide tracer state (the module-level
+tracer and the ``REPRO_TELEMETRY`` environment variable); this fixture
+guarantees every test starts from "never resolved" and leaves nothing
+behind for the rest of the suite."""
+
+import os
+
+import pytest
+
+from repro.telemetry import tracer as tracer_mod
+
+
+@pytest.fixture(autouse=True)
+def isolated_tracer():
+    saved_env = os.environ.pop(tracer_mod.ENV_VAR, None)
+    saved = tracer_mod._tracer
+    tracer_mod._tracer = None
+    yield
+    tracer_mod.disable()
+    tracer_mod._tracer = saved
+    if saved_env is None:
+        os.environ.pop(tracer_mod.ENV_VAR, None)
+    else:
+        os.environ[tracer_mod.ENV_VAR] = saved_env

@@ -1,0 +1,127 @@
+"""Tests for the telemetry read side: segment merging, the Chrome
+trace-event exporter, the per-span summary and metrics aggregation."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace,
+    metrics_snapshot,
+    read_spans,
+    render_summary,
+    summarize,
+    summary_rows,
+)
+
+
+def _span(name, ts, dur, pid=1, status="ok", **tags):
+    return {
+        "kind": "span",
+        "schema": 1,
+        "name": name,
+        "ts": ts,
+        "dur_s": dur,
+        "pid": pid,
+        "tid": 7,
+        "status": status,
+        "tags": tags,
+    }
+
+
+@pytest.fixture
+def sink(tmp_path):
+    """Two pid segments plus garbage that must be skipped."""
+    a = [
+        _span("engine.scenario_run", 100.0, 0.5, pid=1, apps="G-CC:4"),
+        _span("session.run", 100.0, 2.0, pid=1, artifact="fig5"),
+    ]
+    b = [
+        _span("engine.scenario_run", 101.0, 0.25, pid=2),
+        _span("store.append", 101.5, 0.1, pid=2, status="error"),
+        {
+            "kind": "metrics",
+            "schema": 1,
+            "ts": 102.0,
+            "pid": 2,
+            "data": {"counters": {"tier.memory": 3}, "gauges": {}, "histograms": {}},
+        },
+    ]
+    (tmp_path / "1-aa.jsonl").write_text("\n".join(json.dumps(e) for e in a) + "\n")
+    (tmp_path / "2-bb.jsonl").write_text(
+        "\n".join(json.dumps(e) for e in b) + "\n"
+        + '{"schema": 99, "kind": "span", "name": "foreign"}\n'
+        + '{"torn line'
+    )
+    return tmp_path
+
+
+class TestReaders:
+    def test_read_spans_merges_and_sorts(self, sink):
+        spans = read_spans(sink)
+        assert [s["ts"] for s in spans] == sorted(s["ts"] for s in spans)
+        assert len(spans) == 4  # torn + foreign-schema lines skipped
+        assert {s["pid"] for s in spans} == {1, 2}
+
+    def test_missing_dir_is_empty_not_error(self, tmp_path):
+        assert read_spans(tmp_path / "nope") == []
+
+    def test_metrics_snapshot_keeps_last_per_pid(self, sink):
+        snap = metrics_snapshot(sink)
+        assert snap["counters"]["tier.memory"] == 3
+
+
+class TestChromeTrace:
+    def test_layout(self, sink):
+        doc = chrome_trace(read_spans(sink))
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 4
+        # One process_name metadata record per pid = one lane each.
+        assert {e["pid"] for e in meta} == {1, 2}
+        # Timestamps are relative microseconds from the earliest span.
+        assert min(e["ts"] for e in complete) == 0.0
+        first = next(e for e in complete if e["name"] == "engine.scenario_run")
+        assert first["dur"] == pytest.approx(0.5e6)
+        assert first["cat"] == "engine"
+        assert first["args"] == {"apps": "G-CC:4"}
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+
+class TestSummary:
+    def test_aggregates_and_coverage(self, sink):
+        summary = summarize(read_spans(sink))
+        assert summary["spans"] == 4
+        assert summary["pids"] == [1, 2]
+        # Wall: first start 100.0, last end 102.0 (session.run).
+        assert summary["wall_s"] == pytest.approx(2.0)
+        # session.run alone spans [100.0, 102.0], so the interval union
+        # covers the whole wall.
+        assert summary["coverage"] == pytest.approx(1.0)
+        run = summary["names"]["session.run"]
+        assert run["count"] == 1 and run["total_s"] == pytest.approx(2.0)
+        append = summary["names"]["store.append"]
+        assert append["errors"] == 1
+        # Sorted hottest-first.
+        assert list(summary["names"])[0] == "session.run"
+
+    def test_gap_reduces_coverage(self):
+        spans = [_span("a", 0.0, 1.0), _span("b", 3.0, 1.0)]
+        summary = summarize(spans)
+        assert summary["wall_s"] == pytest.approx(4.0)
+        assert summary["covered_s"] == pytest.approx(2.0)
+        assert summary["coverage"] == pytest.approx(0.5)
+
+    def test_rows_and_render(self, sink):
+        summary = summarize(read_spans(sink))
+        rows = summary_rows(summary)
+        assert rows[0][0] == "name"
+        assert len(rows) == 1 + len(summary["names"])
+        text = render_summary(summary)
+        assert "session.run" in text and "of wall" in text
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary["spans"] == 0
+        assert summary["coverage"] == 0.0

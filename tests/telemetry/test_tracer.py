@@ -1,0 +1,154 @@
+"""Unit tests for the span tracer, its JSONL sink and the metrics
+registry: null-tracer semantics, segment-per-process layout, fork
+re-homing, env-var inheritance and snapshot merging."""
+
+import json
+import multiprocessing
+import os
+
+from repro.telemetry.export import read_events, read_spans
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.tracer import (
+    ENV_VAR,
+    NULL_TRACER,
+    disable,
+    enable,
+    get_tracer,
+)
+
+
+class TestNullTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_tracer().enabled is False
+
+    def test_null_span_is_inert(self):
+        with get_tracer().span("anything", a=1) as sp:
+            assert sp.tag("more", 2) is sp
+        get_tracer().merge_counters("cache", {"hits": 3})
+        get_tracer().flush()
+
+    def test_disabled_writes_no_files(self, tmp_path):
+        with get_tracer().span("x"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTracer:
+    def test_span_line_schema(self, tmp_path):
+        tracer = enable(tmp_path)
+        with tracer.span("unit.op", artifact="fig5") as sp:
+            sp.tag("tier", "memory")
+        disable()
+        (span,) = read_spans(tmp_path)
+        assert span["name"] == "unit.op"
+        assert span["pid"] == os.getpid()
+        assert span["status"] == "ok"
+        assert span["dur_s"] >= 0.0
+        assert span["tags"] == {"artifact": "fig5", "tier": "memory"}
+
+    def test_error_status_on_exception(self, tmp_path):
+        tracer = enable(tmp_path)
+        try:
+            with tracer.span("unit.boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        disable()
+        (span,) = read_spans(tmp_path)
+        assert span["status"] == "error"
+
+    def test_one_segment_per_process(self, tmp_path):
+        tracer = enable(tmp_path)
+        for i in range(3):
+            tracer.span("unit.op", i=i).close()
+        disable()
+        segments = list(tmp_path.glob("*.jsonl"))
+        assert len(segments) == 1
+        assert segments[0].name.startswith(f"{os.getpid()}-")
+
+    def test_enable_exports_env_and_disable_clears_it(self, tmp_path):
+        enable(tmp_path)
+        assert os.environ[ENV_VAR] == str(tmp_path)
+        disable()
+        assert ENV_VAR not in os.environ
+        assert get_tracer() is NULL_TRACER
+
+    def test_child_process_inherits_and_gets_own_segment(self, tmp_path):
+        enable(tmp_path)
+        get_tracer().span("parent.op").close()
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_trace_in_child)
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        disable()
+        spans = read_spans(tmp_path)
+        pids = {s["pid"] for s in spans}
+        assert os.getpid() in pids and proc.pid in pids
+        # Never two writers on one file: each pid has its own segment.
+        for segment in tmp_path.glob("*.jsonl"):
+            owner = int(segment.name.split("-", 1)[0])
+            lines = [
+                json.loads(line)
+                for line in segment.read_text().splitlines()
+                if line.strip()
+            ]
+            assert {line["pid"] for line in lines} == {owner}
+
+    def test_metrics_flush_and_torn_line_skip(self, tmp_path):
+        tracer = enable(tmp_path)
+        tracer.metrics.counter("c").inc(2)
+        tracer.merge_counters("cache", {"solo_hits": 3, "nested": {"x": 1}})
+        disable()  # close() flushes a metrics line
+        events = read_events(tmp_path)
+        kinds = {e["kind"] for e in events}
+        assert kinds == {"metrics"}
+        data = events[-1]["data"]
+        assert data["counters"]["c"] == 2
+        assert data["counters"]["cache.solo_hits"] == 3
+        assert "cache.nested" not in data["counters"]
+        # A torn tail line (worker killed mid-append) is skipped.
+        segment = next(tmp_path.glob("*.jsonl"))
+        with open(segment, "a") as fh:
+            fh.write('{"kind": "span", "schema": 1, "name": "tor')
+        assert read_events(tmp_path) == events
+
+
+def _trace_in_child() -> None:
+    tracer = get_tracer()
+    assert tracer.enabled, "child must inherit tracing via the env var"
+    tracer.span("child.op").close()
+    tracer.close()
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.counter("n").inc(4)
+        reg.gauge("g").set(2.5)
+        for v in (1.0, 3.0, 2.0):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["n"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        h = snap["histograms"]["h"]
+        assert h["count"] == 3 and h["min"] == 1.0 and h["max"] == 3.0
+        assert abs(h["mean"] - 2.0) < 1e-12
+
+    def test_merge_snapshots_across_pids(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["n"] == 5
+        assert merged["gauges"]["g"] == 9.0  # last writer wins
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2 and h["sum"] == 6.0
+        assert h["min"] == 1.0 and h["max"] == 5.0
