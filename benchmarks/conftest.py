@@ -47,8 +47,10 @@ def artifacts():
     """Callable that persists a rendered artifact and echoes it.
 
     Passing any of ``cells`` / ``wall_seconds`` / ``speedup`` also
-    writes ``BENCH_<name>.json`` next to the prose, with exactly the
-    schema ``{"bench", "cells", "wall_seconds", "speedup"}``.
+    writes ``BENCH_<name>.json`` next to the prose, with the base
+    schema ``{"bench", "cells", "wall_seconds", "speedup"}``; an
+    optional ``extra`` dict merges additional bench-specific keys into
+    that record (it cannot override the base keys).
     """
     OUT_DIR.mkdir(exist_ok=True)
 
@@ -59,12 +61,14 @@ def artifacts():
         cells: int | None = None,
         wall_seconds: float | None = None,
         speedup: float | None = None,
+        extra: dict | None = None,
     ) -> Path:
         path = OUT_DIR / f"{name}.txt"
         path.write_text(text)
         print(f"\n[artifact] {path}\n{text}")
         if cells is not None or wall_seconds is not None or speedup is not None:
             bench = {
+                **(extra or {}),
                 "bench": name,
                 "cells": cells,
                 "wall_seconds": wall_seconds,

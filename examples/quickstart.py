@@ -42,6 +42,12 @@ Reproduces the paper's core workflow on the Session API:
    span — one lane per process — that loads straight into Perfetto
    (https://ui.perfetto.dev); ``repro trace summary`` shows where the
    wall time went, and none of it changes a single simulated number.
+12. serve it: put the scheduler behind the ``repro serve`` daemon —
+   an asyncio JSON-over-HTTP admission API (``repro serve start
+   --store DIR``) with per-request latency budgets, departure
+   re-planning and an SSE event stream; ``repro serve drain --trace
+   seed:0:8:2:0.5`` replays a whole arrival+departure trace against
+   the live daemon and reproduces the in-process replay byte for byte.
 
 Run:  python examples/quickstart.py
 """
@@ -259,6 +265,38 @@ def main() -> None:
         print(
             f"  Chrome trace written to {trace_path.name} — load it in "
             "Perfetto (CLI: repro --store DIR trace export --format chrome)"
+        )
+
+        # --- the service tier: the scheduler as a daemon ---
+        # `repro serve start` wraps the scheduler + warm store behind a
+        # JSON-over-HTTP admission API; draining a trace against the
+        # live daemon reproduces the in-process replay byte for byte.
+        print("\n== service tier: drain a trace against a live daemon ==")
+        import asyncio
+
+        from repro.sched import parse_trace
+        from repro.serve import ServeClient, ServeDaemon, drain_trace
+
+        async def serve_demo():
+            daemon = ServeDaemon(
+                Session(sched_config, store=ResultStore(store_dir)),
+                port=0,           # ephemeral port
+                budget_s=0.25,    # per-admission latency budget
+            )
+            await daemon.start()
+            client = ServeClient(daemon.host, daemon.port)
+            try:
+                trace = parse_trace("seed:0:8:2:0.5", sched_config.workloads)
+                return await drain_trace(client, trace)
+            finally:
+                await daemon.shutdown()
+
+        drained = asyncio.run(serve_demo())
+        print(
+            f"  {len(drained.latencies)} arrivals admitted over HTTP, "
+            f"p95 admission latency {drained.p95_latency_s * 1e3:.1f} ms "
+            f"({drained.budget_misses} budget miss(es)); "
+            f"{drained.report.replans} departure replan(s)"
         )
 
 

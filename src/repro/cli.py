@@ -23,7 +23,12 @@ Usage::
     repro store diff A/manifest.json B/manifest.json
     repro --store .repro-store sched replay --trace seed:0:10 \\
         --policy interference --policy baseline  # placement policies head to head
+    repro --store .repro-store sched replay --trace seed:0:10:2:0.5 --replan
     repro sched decide G-CC:4 --machines 2       # one admission what-if
+    repro --store .repro-store serve start --port 7453 --budget-s 0.25
+    repro serve submit G-CC:4 t000 --port 7453   # one live admission
+    repro serve drain --trace seed:0:10:2:0.5 --port 7453 --json
+    repro serve metrics --port 7453; repro serve stop --port 7453
     repro --store .repro-store store ls --json   # scripted consumption
     repro --store .repro-store store stats       # per-artifact run/cache stats
     repro --store .repro-store campaign --workers 2 --telemetry  # record spans
@@ -79,7 +84,10 @@ from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 #: Non-artifact CLI commands sharing the experiment position
 #: ("scenario" doubles as a registered runner: bare `repro scenario`
 #: runs the default scenario, `repro scenario run ...` the subcommand).
-_COMMANDS = ("list", "run-all", "campaign", "store", "scenario", "sched", "trace")
+_COMMANDS = (
+    "list", "run-all", "campaign", "store", "scenario", "sched", "trace",
+    "serve",
+)
 
 #: Shipped placement policies (mirrors repro.sched.policy.POLICIES;
 #: spelled out so parser construction stays import-light).
@@ -106,8 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments for 'store' (ls | show <artifact-or-run-id> | gc | "
         "diff <manifest-A> <manifest-B> | stats), 'scenario' "
         "(run <app[:threads]> ... | ls), 'sched' "
-        "(replay | decide <app[:threads]>) and 'trace' "
-        "(show | export | summary)",
+        "(replay | decide <app[:threads]>), 'trace' "
+        "(show | export | summary) and 'serve' "
+        "(start | submit <app[:threads]> [id] | drain | stop | metrics)",
     )
     parser.add_argument(
         "-v",
@@ -261,6 +270,46 @@ def build_parser() -> argparse.ArgumentParser:
         "tenants; default: an empty homogeneous cluster of --machines)",
     )
     parser.add_argument(
+        "--replan",
+        action="store_true",
+        help="for 'sched replay': re-plan the vacated machine on every "
+        "departure (re-partitions / SLO-relief migrations land in the "
+        "decision log as replan events)",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="for 'serve': daemon bind/connect address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="for 'serve': daemon port (default 7453; 0 binds an "
+        "ephemeral port, announced on stdout)",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        help="for 'serve start': per-arrival admission-latency budget in "
+        "seconds — observability only (responses/metrics flag overruns; "
+        "decisions never change)",
+    )
+    parser.add_argument(
+        "--no-replan",
+        action="store_true",
+        help="for 'serve start': disable departure-time re-planning "
+        "(the daemon re-plans by default, unlike offline replay)",
+    )
+    parser.add_argument(
+        "--solo-s",
+        type=float,
+        default=None,
+        help="for 'serve submit': the arrival's work in solo-execution "
+        "seconds (default 1.0)",
+    )
+    parser.add_argument(
         "--format",
         choices=("chrome", "csv", "json"),
         default=None,
@@ -299,7 +348,8 @@ def _list_text() -> str:
         "campaign (multi-process run-all), store ls/show/gc/diff/stats, "
         "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls, "
         "sched replay [--trace seed:S:N] [--policy P ...] / decide APP[:T], "
-        "trace show/export/summary (spans recorded with --telemetry)"
+        "trace show/export/summary (spans recorded with --telemetry), "
+        "serve start/submit/drain/stop/metrics (the scheduler daemon)"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
@@ -597,6 +647,8 @@ def _sched_command(args: argparse.Namespace, session: Session) -> int:
             kwargs["machines"] = machines
         if args.slo is not None:
             kwargs["slo"] = args.slo
+        if args.replan:
+            kwargs["replan"] = True
         record = session.run("sched-replay", **kwargs)
         runner = get_runner("sched-replay")
         if args.json:
@@ -667,6 +719,160 @@ def _sched_command(args: argparse.Namespace, session: Session) -> int:
         return 0 if decision.admitted else 1
     print(
         f"error: unknown sched subcommand {sub!r}; use replay or decide",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _serve_command(args: argparse.Namespace, session: Session) -> int:
+    """``repro serve start`` (the daemon) and its client subcommands:
+    ``submit <app[:threads]> [id]``, ``drain [--trace SPEC]``, ``stop``
+    and ``metrics``."""
+    import asyncio
+
+    from repro.serve import ServeClient, ServeDaemon, drain_trace
+
+    sub = args.subargs[0] if args.subargs else "start"
+    host = args.host or "127.0.0.1"
+    port = args.port if args.port is not None else 7453
+    if sub == "start":
+        if len(args.subargs) > 1:
+            print(
+                f"error: unexpected argument(s): {' '.join(args.subargs[1:])}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sched import Cluster
+
+        cluster = None
+        machines = args.machines if args.machines is not None else 2
+        if args.cluster is not None:
+            try:
+                payload = json.loads(Path(args.cluster).read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(
+                    f"error: cannot read cluster {args.cluster}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            cluster = Cluster.from_payload(payload, session.spec)
+        daemon = ServeDaemon(
+            session,
+            host=host,
+            port=port,
+            cluster=cluster,
+            machines=machines,
+            policy=(args.policy or ["interference"])[0],
+            **({"slo": args.slo} if args.slo is not None else {}),
+            replan=not args.no_replan,
+            budget_s=args.budget_s,
+        )
+
+        def _announce(d: ServeDaemon) -> None:
+            budget = f", budget {d.budget_s * 1e3:.0f}ms" if d.budget_s else ""
+            print(
+                f"serve: listening on {d.host}:{d.port} "
+                f"(policy={d.scheduler.policy.name}, "
+                f"slo={d.scheduler.slo:.2f}x, "
+                f"replan={'on' if d.scheduler.replan else 'off'}, "
+                f"machines={len(list(d.scheduler.cluster))}{budget})",
+                flush=True,
+            )
+
+        asyncio.run(daemon.run(ready=_announce))
+        print("serve: stopped", flush=True)
+        return 0
+    client = ServeClient(host, port)
+    if sub == "submit":
+        from repro.session.scenario import parse_placement
+
+        if len(args.subargs) < 2:
+            print(
+                "error: serve submit needs an arrival, e.g. "
+                "serve submit G-CC:4 [tenant-id]",
+                file=sys.stderr,
+            )
+            return 2
+        placement = parse_placement(args.subargs[1], default_threads=args.threads)
+        tenant = args.subargs[2] if len(args.subargs) > 2 else placement.label
+        response = asyncio.run(
+            client.arrival(
+                tenant=tenant,
+                workload=placement.workload,
+                threads=placement.threads,
+                solo_s=args.solo_s if args.solo_s is not None else 1.0,
+            )
+        )
+        if args.json:
+            print(json.dumps(response, sort_keys=True))
+            return 0 if response["decision"]["admitted"] else 1
+        decision = response["decision"]
+        verb = (
+            f"admit on {decision['machine']} [{decision['variant']}]"
+            if decision["admitted"]
+            else f"reject ({decision['reason']})"
+        )
+        budget = (
+            ""
+            if response.get("within_budget") is None
+            else (" within budget" if response["within_budget"] else " OVER BUDGET")
+        )
+        print(
+            f"{tenant}: {verb} in {response['latency_s'] * 1e3:.2f}ms{budget}"
+        )
+        return 0 if decision["admitted"] else 1
+    if sub == "drain":
+        if len(args.subargs) > 1:
+            print(
+                f"error: unexpected argument(s): {' '.join(args.subargs[1:])}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sched import ArrivalTrace, parse_trace
+
+        if args.trace is not None:
+            trace = parse_trace(args.trace, session.config.workloads)
+        else:
+            trace = ArrivalTrace.synthetic(
+                session.config.workloads, seed=session.config.seed
+            )
+
+        async def _drain():
+            await client.wait_ready()
+            return await drain_trace(client, trace)
+
+        result = asyncio.run(_drain())
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "report": result.report.payload(),
+                        "latencies": result.latencies,
+                        "p50_latency_s": result.p50_latency_s,
+                        "p95_latency_s": result.p95_latency_s,
+                        "budget_misses": result.budget_misses,
+                    },
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(result.render(), end="")
+        return 0
+    if sub == "stop":
+        asyncio.run(client.shutdown())
+        print(f"serve: asked {client.url} to stop")
+        return 0
+    if sub == "metrics":
+        payload = asyncio.run(client.metrics())
+        print(
+            json.dumps(payload, sort_keys=True)
+            if args.json
+            else json.dumps(payload, indent=1, sort_keys=True)
+        )
+        return 0
+    print(
+        f"error: unknown serve subcommand {sub!r}; use start, submit, "
+        "drain, stop or metrics",
         file=sys.stderr,
     )
     return 2
@@ -917,13 +1123,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         print(_list_text())
         return 0
-    if args.experiment not in ("store", "scenario", "sched", "trace") and args.subargs:
+    if (
+        args.experiment not in ("store", "scenario", "sched", "trace", "serve")
+        and args.subargs
+    ):
         print(
             f"error: unexpected argument(s): {' '.join(args.subargs)}",
             file=sys.stderr,
         )
         return 2
-    if args.experiment != "sched" and (
+    if args.experiment not in ("sched", "serve") and (
         args.trace is not None
         or args.policy
         or args.machines is not None
@@ -932,12 +1141,33 @@ def main(argv: list[str] | None = None) -> int:
     ):
         print(
             "error: --trace/--policy/--machines/--slo/--cluster only apply "
-            "to 'sched' (the sched-replay artifact runs its seeded default)",
+            "to 'sched' and 'serve' (the sched-replay artifact runs its "
+            "seeded default)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment != "serve" and (
+        args.host is not None
+        or args.port is not None
+        or args.budget_s is not None
+        or args.no_replan
+        or args.solo_s is not None
+    ):
+        print(
+            "error: --host/--port/--budget-s/--no-replan/--solo-s only "
+            "apply to 'serve'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replan and args.experiment != "sched":
+        print(
+            "error: --replan only applies to 'sched replay' (the serve "
+            "daemon re-plans by default; disable with --no-replan)",
             file=sys.stderr,
         )
         return 2
     json_ok = (
-        args.experiment == "sched"
+        args.experiment in ("sched", "serve")
         or (
             args.experiment == "store"
             and (not args.subargs or args.subargs[0] in ("ls", "stats"))
@@ -950,8 +1180,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.json and not json_ok:
         print(
-            "error: --json only applies to 'sched', 'store ls/stats', "
-            "'scenario ls' and 'trace show/summary' "
+            "error: --json only applies to 'sched', 'serve', "
+            "'store ls/stats', 'scenario ls' and 'trace show/summary' "
             "(use 'trace export --format json' for raw spans)",
             file=sys.stderr,
         )
@@ -1024,6 +1254,8 @@ def main(argv: list[str] | None = None) -> int:
                 return _scenario_command(args, session)
             if args.experiment == "sched":
                 return _sched_command(args, session)
+            if args.experiment == "serve":
+                return _serve_command(args, session)
             runner = get_runner(args.experiment)
             kwargs = (
                 {"llc_policy": args.llc_policy, "smt": args.smt}

@@ -16,6 +16,13 @@ fans out over the session executor, lands in the store's scenario
 tier under the session's *base* engine fingerprint (way masks live in
 the scenario payload, not the engine config — ``store gc`` can never
 orphan them), and re-renders from a warm store with zero simulations.
+
+Beyond the classic contiguous pair sweep, the runner supports
+**interleaved** (non-contiguous, way-striped) splits and **N >= 3**
+layouts (one foreground vs several backgrounds sharing the remaining
+ways) — the same :func:`way_partition` / :func:`equal_way_shares`
+helpers the scheduler's departure re-planner uses to re-fence the
+residents of a vacated machine.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from repro.core.report import ascii_table
 from repro.errors import ScenarioError
 from repro.session.base import Runner
 from repro.session.registry import register_runner
-from repro.session.scenario import Scenario
+from repro.session.scenario import AppPlacement, Scenario
 
 
 def contiguous_split(n_ways: int, fg_ways: int) -> tuple[int, int]:
@@ -41,20 +48,90 @@ def contiguous_split(n_ways: int, fg_ways: int) -> tuple[int, int]:
     return ((1 << fg_ways) - 1) << bg_ways, (1 << bg_ways) - 1
 
 
+def interleaved_split(n_ways: int, fg_ways: int) -> tuple[int, int]:
+    """The (fg, bg) bitmaps of a *non-contiguous* two-way partition:
+    the foreground's ways are striped evenly across the cache index
+    range (``interleaved_split(8, 4) == (0x55, 0xAA)``), which spreads
+    both partitions over all set-index regions instead of fencing each
+    into one contiguous block."""
+    if not 1 <= fg_ways < n_ways:
+        raise ScenarioError(
+            f"fg_ways must lie in [1, {n_ways - 1}], got {fg_ways}"
+        )
+    fg_mask = 0
+    for i in range(fg_ways):
+        fg_mask |= 1 << (i * n_ways) // fg_ways
+    return fg_mask, ((1 << n_ways) - 1) ^ fg_mask
+
+
+def equal_way_shares(n_ways: int, parts: int) -> tuple[int, ...]:
+    """``parts`` way counts as equal as integers allow (larger shares
+    first), summing to ``n_ways`` — the share vector an N-way equal
+    re-partition hands to :func:`way_partition`."""
+    if parts < 1:
+        raise ScenarioError(f"parts must be >= 1, got {parts}")
+    if parts > n_ways:
+        raise ScenarioError(
+            f"cannot split {n_ways} way(s) into {parts} non-empty share(s)"
+        )
+    base, extra = divmod(n_ways, parts)
+    return tuple(base + (1 if i < extra else 0) for i in range(parts))
+
+
+def way_partition(n_ways: int, shares: "tuple[int, ...] | list[int]") -> tuple[int, ...]:
+    """Disjoint contiguous way bitmaps covering the whole LLC, one per
+    share, first share on top (``way_partition(8, (4, 4)) ==
+    contiguous_split(8, 4)``).  Generalizes the two-way split to the
+    N-way layouts a multi-tenant re-partition needs."""
+    shares = tuple(shares)
+    if not shares or any(s < 1 for s in shares):
+        raise ScenarioError(f"every share needs >= 1 way, got {shares}")
+    if sum(shares) != n_ways:
+        raise ScenarioError(
+            f"shares {shares} must sum to the {n_ways} LLC ways"
+        )
+    masks: list[int] = []
+    top = n_ways
+    for s in shares:
+        masks.append(((1 << s) - 1) << (top - s))
+        top -= s
+    return tuple(masks)
+
+
+def _chunk_positions(mask: int, parts: int) -> tuple[int, ...]:
+    """Split one bitmap's set positions into ``parts`` disjoint masks of
+    near-equal population, highest ways first — how a (possibly
+    non-contiguous) background region is shared among N backgrounds."""
+    positions = [i for i in range(mask.bit_length()) if mask >> i & 1]
+    positions.reverse()
+    shares = equal_way_shares(len(positions), parts)
+    masks: list[int] = []
+    taken = 0
+    for s in shares:
+        masks.append(sum(1 << p for p in positions[taken:taken + s]))
+        taken += s
+    return tuple(masks)
+
+
 @dataclass(frozen=True)
 class CatSweepPoint:
     """One swept allocation: a mask pair or a global-policy reference."""
 
     label: str
     #: Foreground / background way bitmaps (``None`` for policy points).
+    #: With several backgrounds ``bg_mask`` is their union.
     fg_mask: int | None
     bg_mask: int | None
     #: Global LLC policy of a reference point (``None`` for mask points).
     llc_policy: str | None
     #: Foreground co-run time / foreground solo time.
     fg_slowdown: float
-    #: Background progress relative to its solo rate.
+    #: Background progress relative to its solo rate (mean over
+    #: backgrounds when there are several).
     bg_throughput: float
+    #: Full per-app mask tuple (fg first) for N-way / non-contiguous
+    #: layouts; ``None`` for classic pair points and policy references.
+    masks: tuple[int, ...] | None = None
 
     @property
     def masked(self) -> bool:
@@ -71,6 +148,10 @@ class CatSweepResult:
     #: Total LLC ways of the machine the sweep partitioned.
     n_ways: int
     points: list[CatSweepPoint] = field(default_factory=list)
+    #: All backgrounds of an N-way sweep (``(bg,)`` for the classic pair).
+    bgs: tuple[str, ...] = ()
+    #: Mask layout swept: ``"contiguous"`` or ``"interleaved"``.
+    layout: str = "contiguous"
 
     def point(self, label: str) -> CatSweepPoint:
         for p in self.points:
@@ -154,37 +235,75 @@ class CatSweepRunner(Runner):
         fg: str | None = None,
         bg: str | None = None,
         threads: int | None = None,
+        bgs: "tuple[str, ...] | list[str] | None" = None,
+        layout: str = "contiguous",
     ) -> CatSweepResult:
         config = session.config
         fg = fg if fg is not None else config.workloads[0]
-        bg = bg if bg is not None else "Stream"
-        if threads is None:
-            threads = max(1, min(config.threads, config.spec.n_slots // 2))
-        if 2 * threads > config.spec.n_slots:
+        if layout not in ("contiguous", "interleaved"):
             raise ScenarioError(
-                f"{threads}+{threads} threads exceed {config.spec.n_slots} slots"
+                f"unknown layout {layout!r}; use 'contiguous' or 'interleaved'"
+            )
+        bg_list = tuple(bgs) if bgs else (bg if bg is not None else "Stream",)
+        bg = bg_list[0] if len(bg_list) == 1 else "+".join(bg_list)
+        if threads is None:
+            threads = max(
+                1, min(config.threads, config.spec.n_slots // (1 + len(bg_list)))
+            )
+        if (1 + len(bg_list)) * threads > config.spec.n_slots:
+            raise ScenarioError(
+                f"{1 + len(bg_list)} apps x {threads} threads exceed "
+                f"{config.spec.n_slots} slots"
             )
         n_ways = config.spec.llc_ways
-        base = Scenario.pair(fg, bg, threads=threads)
+        if n_ways < 1 + len(bg_list):
+            raise ScenarioError(
+                f"{1 + len(bg_list)} apps need at least that many of the "
+                f"{n_ways} LLC ways"
+            )
+        split = contiguous_split if layout == "contiguous" else interleaved_split
+        base = Scenario(
+            (AppPlacement(fg, threads),)
+            + tuple(AppPlacement(b, threads) for b in bg_list)
+        )
         scenarios = [base.with_policy(p) for p in ("pressure", "even", "static")]
         labels = ["pressure", "even", "static"]
-        for k in range(1, n_ways):
-            fg_mask, bg_mask = contiguous_split(n_ways, k)
-            scenarios.append(base.with_ways([fg_mask, bg_mask]))
-            labels.append(f"{k}/{n_ways - k}")
-        result = CatSweepResult(fg=fg, bg=bg, threads=threads, n_ways=n_ways)
-        for label, s, sres in zip(
-            labels, scenarios, session.run_scenarios(scenarios)
+        mask_sets: list[tuple[int, ...] | None] = [None, None, None]
+        prefix = "" if layout == "contiguous" else "i:"
+        for k in range(1, n_ways - len(bg_list) + 1):
+            fg_mask, bg_region = split(n_ways, k)
+            masks = (fg_mask,) + _chunk_positions(bg_region, len(bg_list))
+            scenarios.append(base.with_ways(list(masks)))
+            labels.append(f"{prefix}{k}/{n_ways - k}")
+            mask_sets.append(masks)
+        result = CatSweepResult(
+            fg=fg, bg=bg, threads=threads, n_ways=n_ways,
+            bgs=bg_list, layout=layout,
+        )
+        plain_pair = len(bg_list) == 1 and layout == "contiguous"
+        for label, s, masks, sres in zip(
+            labels, scenarios, mask_sets, session.run_scenarios(scenarios)
         ):
-            fg_place, bg_place = s.placements
+            fg_place = s.placements[0]
+            bg_places = s.placements[1:]
+            bg_masks = [p.llc_ways for p in bg_places]
+            bg_union = (
+                None
+                if bg_masks[0] is None
+                else sum(m for m in bg_masks if m is not None)
+            )
+            rates = sres.bg_relative_rates[: len(bg_places)]
             result.points.append(
                 CatSweepPoint(
                     label=label,
                     fg_mask=fg_place.llc_ways,
-                    bg_mask=bg_place.llc_ways,
+                    bg_mask=bg_union,
                     llc_policy=s.llc_policy,
                     fg_slowdown=sres.normalized_time,
-                    bg_throughput=sres.bg_relative_rates[0],
+                    bg_throughput=sum(rates) / len(rates),
+                    # Pair points on the classic contiguous sweep keep the
+                    # 6-element encoding (and the old payload identity).
+                    masks=None if plain_pair else masks,
                 )
             )
         return result
@@ -193,7 +312,10 @@ class CatSweepRunner(Runner):
         return result.render()
 
     def encode(self, result: CatSweepResult) -> dict:
-        return {
+        # The 7th element (the full mask tuple) joins a point's row only
+        # when set, so classic pair sweeps keep the legacy 6-element shape
+        # and previously persisted records decode unchanged.
+        out = {
             "fg": result.fg,
             "bg": result.bg,
             "threads": result.threads,
@@ -201,9 +323,14 @@ class CatSweepRunner(Runner):
             "points": [
                 [p.label, p.fg_mask, p.bg_mask, p.llc_policy,
                  p.fg_slowdown, p.bg_throughput]
+                + ([list(p.masks)] if p.masks is not None else [])
                 for p in result.points
             ],
         }
+        if result.bgs and (len(result.bgs) > 1 or result.layout != "contiguous"):
+            out["bgs"] = list(result.bgs)
+            out["layout"] = result.layout
+        return out
 
     def decode(self, payload: dict) -> CatSweepResult:
         return CatSweepResult(
@@ -211,17 +338,19 @@ class CatSweepRunner(Runner):
             bg=payload["bg"],
             threads=payload["threads"],
             n_ways=payload["n_ways"],
+            bgs=tuple(payload.get("bgs", ())),
+            layout=payload.get("layout", "contiguous"),
             points=[
                 CatSweepPoint(
-                    label=label,
-                    fg_mask=fg_mask,
-                    bg_mask=bg_mask,
-                    llc_policy=policy,
-                    fg_slowdown=slowdown,
-                    bg_throughput=throughput,
+                    label=row[0],
+                    fg_mask=row[1],
+                    bg_mask=row[2],
+                    llc_policy=row[3],
+                    fg_slowdown=row[4],
+                    bg_throughput=row[5],
+                    masks=tuple(row[6]) if len(row) > 6 else None,
                 )
-                for label, fg_mask, bg_mask, policy, slowdown, throughput
-                in payload["points"]
+                for row in payload["points"]
             ],
         )
 
@@ -231,9 +360,13 @@ def run_cat_sweep(
     bg: str = "Stream",
     *,
     threads: int | None = None,
+    bgs: "tuple[str, ...] | None" = None,
+    layout: str = "contiguous",
     config=None,
 ) -> CatSweepResult:
     """Run the CAT sweep (thin wrapper over ``Session.run("cat-sweep")``)."""
     from repro.session import Session
 
-    return Session(config).run("cat-sweep", fg=fg, bg=bg, threads=threads).result
+    return Session(config).run(
+        "cat-sweep", fg=fg, bg=bg, threads=threads, bgs=bgs, layout=layout
+    ).result

@@ -46,6 +46,12 @@ class SchedError(ExperimentError):
     description that does not round-trip."""
 
 
+class ServeError(ExperimentError):
+    """A scheduler-service problem: a malformed API request or
+    response, a daemon that cannot bind or is shutting down, or a
+    client that cannot reach one."""
+
+
 class StoreError(ReproError):
     """A persistent result-store problem: incompatible on-disk schema,
     unreadable record, or a lookup that cannot be satisfied."""

@@ -25,14 +25,19 @@ something that *decides* placements with that machinery:
 """
 
 from repro.sched.cluster import Cluster, Machine, Tenant, cores_needed
+from repro.sched.driver import LocalPort, SchedulerPort, drive_trace
 from repro.sched.policy import (
     POLICIES,
     BaselinePolicy,
     Candidate,
     Decision,
     InterferencePolicy,
+    Layout,
     PlacementPolicy,
+    ReplanDecision,
+    decision_from_payload,
     enumerate_candidates,
+    enumerate_layouts,
     get_policy,
 )
 from repro.sched.runner import DEFAULT_POLICIES, ReplayComparison, SchedReplayRunner
@@ -54,19 +59,26 @@ __all__ = [
     "DEFAULT_POLICIES",
     "Decision",
     "InterferencePolicy",
+    "Layout",
+    "LocalPort",
     "Machine",
     "POLICIES",
     "PlacementEvaluator",
     "PlacementPolicy",
+    "ReplanDecision",
     "ReplayComparison",
     "ReplayReport",
     "SchedReplayRunner",
     "Scheduler",
+    "SchedulerPort",
     "Tenant",
     "TenantOutcome",
     "TraceEvent",
     "cores_needed",
+    "decision_from_payload",
+    "drive_trace",
     "enumerate_candidates",
+    "enumerate_layouts",
     "get_policy",
     "load_trace",
     "parse_trace",

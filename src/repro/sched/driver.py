@@ -1,0 +1,235 @@
+"""The simulated-time trace driver, shared by replay and the daemon drain.
+
+:func:`drive_trace` is the one copy of the scheduler's open-loop time
+model: work drains at ``1 / slowdown`` of wall time, completions free
+slots before same-instant arrivals, utilization is the time-weighted
+occupied-slot area.  It talks to the scheduler only through a
+:class:`SchedulerPort` — decide / depart / observe — so the very same
+loop drives
+
+* :class:`LocalPort` — an in-process :class:`~repro.sched.scheduler.Scheduler`
+  (what :func:`~repro.sched.scheduler.replay_trace` runs), and
+* ``repro.serve.drain.RemotePort`` — a live daemon over its JSON API.
+
+Because every number the loop consumes (per-tenant slowdowns, tenant
+homes, used slots, decision payloads) round-trips JSON exactly (Python
+serializes floats via ``repr`` and parses them back bit-for-bit), a
+daemon drain of a trace produces a :class:`ReplayReport` — decision log
+included — **byte-identical** to the in-process replay of the same
+trace against the same configuration.  That is the service tier's
+acceptance contract, checkable with ``store diff``-style comparisons.
+
+The port is async so the remote case can await the network; the local
+port simply wraps synchronous calls.  Nothing here reads clocks or
+randomness — simulated time comes from the trace alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sched.cluster import Tenant
+from repro.sched.trace import ArrivalTrace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.policy import Decision, ReplanDecision
+    from repro.sched.scheduler import ReplayReport, Scheduler
+
+__all__ = ["LocalPort", "SchedulerPort", "drive_trace"]
+
+
+class SchedulerPort:
+    """What the driver needs from a scheduler, local or remote."""
+
+    async def info(self) -> dict:
+        """Static replay facts: ``policy``, ``slo``, ``machines``
+        (names, cluster order) and ``total_slots``."""
+        raise NotImplementedError
+
+    async def decide(self, event: TraceEvent) -> "Decision":
+        """Submit one arrival; returns the admission decision."""
+        raise NotImplementedError
+
+    async def depart(self, tenant_id: str, time_s: float) -> None:
+        """Evict one tenant (completion or explicit departure); any
+        re-planning happens behind this call."""
+        raise NotImplementedError
+
+    async def state(self) -> "tuple[dict[str, float], dict[str, str], int]":
+        """The live cluster view: per-tenant slowdown rates, per-tenant
+        machine homes, and occupied slots."""
+        raise NotImplementedError
+
+    async def decisions(self) -> "list[Decision | ReplanDecision]":
+        """The full decision log, in event order."""
+        raise NotImplementedError
+
+
+class LocalPort(SchedulerPort):
+    """An in-process scheduler behind the port interface."""
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        self.scheduler = scheduler
+
+    async def info(self) -> dict:
+        cluster = self.scheduler.cluster
+        return {
+            "policy": self.scheduler.policy.name,
+            "slo": self.scheduler.slo,
+            "machines": [m.name for m in cluster],
+            "total_slots": cluster.total_slots,
+        }
+
+    async def decide(self, event: TraceEvent) -> "Decision":
+        tenant = Tenant(
+            tenant=event.tenant,
+            workload=event.workload,
+            threads=event.threads,
+            solo_s=event.solo_s,
+            arrival_s=event.time_s,
+        )
+        return self.scheduler.arrival(tenant, time_s=event.time_s)
+
+    async def depart(self, tenant_id: str, time_s: float) -> None:
+        self.scheduler.departure(tenant_id, time_s=time_s)
+
+    async def state(self) -> "tuple[dict[str, float], dict[str, str], int]":
+        rates: dict[str, float] = {}
+        homes: dict[str, str] = {}
+        for m in self.scheduler.cluster:
+            ids = tuple(m.tenants)
+            if not ids:
+                continue
+            slowdowns = self.scheduler.evaluator.slowdowns(
+                m.spec, m.placements()
+            )
+            for tid, s in zip(ids, slowdowns):
+                rates[tid] = s
+                homes[tid] = m.name
+        return rates, homes, self.scheduler.cluster.used_slots
+
+    async def decisions(self) -> "list[Decision | ReplanDecision]":
+        return list(self.scheduler.decisions)
+
+
+async def drive_trace(port: SchedulerPort, trace: ArrivalTrace) -> "ReplayReport":
+    """Run one trace open-loop through a scheduler port and simulate
+    the tenants' lifetimes; see the module docstring.  The time model
+    is byte-for-byte the pre-refactor replay loop."""
+    from repro.sched.scheduler import _EPS, ReplayReport, TenantOutcome, _Active
+
+    info = await port.info()
+    slo: float = info["slo"]
+    total_slots: int = info["total_slots"]
+    active: dict[str, _Active] = {}
+    outcomes: dict[str, TenantOutcome] = {}
+    order: list[str] = []
+    events = list(trace.events)
+    i = 0
+    now = 0.0
+    util_area = 0.0
+
+    async def finish(tid: str, end_s: float, *, evicted: bool) -> None:
+        a = active.pop(tid)
+        await port.depart(tid, end_s)
+        elapsed = end_s - a.tenant.arrival_s
+        if evicted:
+            done = a.tenant.solo_s - max(a.remaining_s, 0.0)
+            achieved = elapsed / done if done > _EPS else 1.0
+            status = "evicted"
+        else:
+            achieved = elapsed / a.tenant.solo_s
+            status = "completed"
+        outcomes[tid] = TenantOutcome(
+            tenant=tid,
+            workload=a.tenant.workload,
+            threads=a.tenant.threads,
+            status=status,
+            machine=a.machine,
+            arrival_s=a.tenant.arrival_s,
+            end_s=end_s,
+            solo_s=a.tenant.solo_s,
+            achieved_slowdown=achieved,
+            peak_slowdown=a.peak,
+            violated=a.violated,
+        )
+
+    while i < len(events) or active:
+        # Current per-tenant slowdowns (and homes — a re-planning
+        # scheduler may have migrated someone) under each machine's
+        # live layout.
+        rates, homes, used_slots = await port.state()
+        for tid, a in active.items():
+            s = rates[tid]
+            a.machine = homes[tid]
+            if s > a.peak:
+                a.peak = s
+            if s >= slo:
+                a.violated = True
+        next_event = events[i].time_s if i < len(events) else float("inf")
+        next_done = float("inf")
+        for tid, a in active.items():
+            t_fin = now + a.remaining_s * rates[tid]
+            if t_fin < next_done:
+                next_done = t_fin
+        t_next = min(next_event, next_done)
+        dt = t_next - now
+        if dt > 0:
+            util_area += used_slots * dt
+            for tid, a in active.items():
+                a.remaining_s -= dt / rates[tid]
+            now = t_next
+        else:
+            now = max(now, t_next)
+        # Completions first (they free slots for same-instant arrivals).
+        for tid in [t for t, a in active.items() if a.remaining_s <= _EPS]:
+            await finish(tid, now, evicted=False)
+        while i < len(events) and events[i].time_s <= now + _EPS:
+            e = events[i]
+            i += 1
+            if e.kind == "arrival":
+                order.append(e.tenant)
+                decision = await port.decide(e)
+                if decision.admitted:
+                    active[e.tenant] = _Active(
+                        tenant=Tenant(
+                            tenant=e.tenant,
+                            workload=e.workload,
+                            threads=e.threads,
+                            solo_s=e.solo_s,
+                            arrival_s=e.time_s,
+                        ),
+                        machine=decision.machine or "",
+                        remaining_s=e.solo_s,
+                    )
+                else:
+                    outcomes[e.tenant] = TenantOutcome(
+                        tenant=e.tenant,
+                        workload=e.workload,
+                        threads=e.threads,
+                        status="rejected",
+                        machine=None,
+                        arrival_s=e.time_s,
+                        end_s=e.time_s,
+                        solo_s=e.solo_s,
+                        achieved_slowdown=0.0,
+                        peak_slowdown=0.0,
+                        violated=False,
+                    )
+            elif e.tenant in active:
+                await finish(e.tenant, now, evicted=True)
+            # A departure of an already-finished tenant is a no-op.
+
+    return ReplayReport(
+        policy=info["policy"],
+        slo=slo,
+        machines=tuple(info["machines"]),
+        total_slots=total_slots,
+        trace_fingerprint=trace.fingerprint,
+        decisions=await port.decisions(),
+        outcomes=[outcomes[tid] for tid in order],
+        sim_time_s=now,
+        utilization=(
+            util_area / (total_slots * now) if now > 0 else 0.0
+        ),
+    )

@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.catsweep import contiguous_split
+from repro.core.catsweep import contiguous_split, equal_way_shares, way_partition
 from repro.core.classify import VICTIM_THRESHOLD
 from repro.errors import SchedError
 from repro.sched.cluster import Cluster, Machine, Tenant, cores_needed
@@ -131,6 +131,77 @@ def enumerate_candidates(cluster: Cluster, tenant: Tenant) -> list[Candidate]:
 
 
 @dataclass(frozen=True)
+class Layout:
+    """One resident-only re-partition of a machine — a :class:`Candidate`
+    without an arrival.  The departure re-planner enumerates these for a
+    vacated machine and applies the cleanest one."""
+
+    machine: str
+    variant: str
+    #: Resident tenant ids, in admission order.
+    tenants: tuple[str, ...]
+    #: Engine-ready layout aligned with ``tenants``.
+    placements: tuple[AppPlacement, ...]
+
+    def assignments(
+        self,
+    ) -> "dict[str, tuple[int | None, tuple[int, ...] | None]]":
+        """tenant id -> (llc_ways, pinning) for :meth:`Machine.apply_layout`
+        (every resident named — this is a full re-partition)."""
+        return {
+            tid: (p.llc_ways, p.pinning)
+            for tid, p in zip(self.tenants, self.placements)
+        }
+
+
+def enumerate_layouts(machine: Machine) -> list[Layout]:
+    """Every re-partition of a machine's *current* residents, in
+    :data:`VARIANTS` order: ``shared`` (masks and pins cleared), ``cat``
+    (an equal N-way contiguous way partition — the
+    :func:`~repro.core.catsweep.way_partition` shape), and ``pinned``
+    (disjoint contiguous core blocks) when capacity allows.  Machines
+    with fewer than two residents have nothing to arbitrate and
+    enumerate nothing (eviction already canonicalizes them)."""
+    residents = machine.residents()
+    if len(residents) < 2:
+        return []
+    ids = tuple(t.tenant for t in residents)
+    bare = tuple(AppPlacement(t.workload, t.threads) for t in residents)
+    out = [Layout(machine.name, "shared", ids, bare)]
+    spec = machine.spec
+    if spec.llc_ways >= len(residents):
+        masks = way_partition(
+            spec.llc_ways, equal_way_shares(spec.llc_ways, len(residents))
+        )
+        out.append(
+            Layout(
+                machine.name,
+                "cat",
+                ids,
+                tuple(
+                    AppPlacement(t.workload, t.threads, llc_ways=m)
+                    for t, m in zip(residents, masks)
+                ),
+            )
+        )
+    need = [cores_needed(t.threads, spec) for t in residents]
+    if sum(need) <= spec.n_cores:
+        pinned: list[AppPlacement] = []
+        offset = 0
+        for t, n in zip(residents, need):
+            pinned.append(
+                AppPlacement(
+                    t.workload,
+                    t.threads,
+                    pinning=tuple(range(offset, offset + n)),
+                )
+            )
+            offset += n
+        out.append(Layout(machine.name, "pinned", ids, tuple(pinned)))
+    return out
+
+
+@dataclass(frozen=True)
 class Decision:
     """One admission decision, fully serializable — the decision log a
     replay emits is a list of these, and byte-identical across runs."""
@@ -186,6 +257,91 @@ class Decision:
             candidates=payload["candidates"],
             reason=payload["reason"],
         )
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """One departure-triggered re-planning action, fully serializable.
+
+    Its payload carries ``"event": "replan"`` as a discriminator, so a
+    decision log can mix admissions and re-plans while plain
+    :class:`Decision` payloads decode unchanged
+    (:func:`decision_from_payload` dispatches on the key).
+    """
+
+    time_s: float
+    policy: str
+    #: The departed tenant whose eviction triggered this re-plan.
+    trigger: str
+    #: ``"repartition"`` (masks/pins redrawn in place) or ``"migrate"``
+    #: (one resident moved to another machine).
+    action: str
+    #: The vacated machine.
+    machine: str
+    #: Destination machine of a migration (``None`` for repartitions).
+    target: str | None
+    #: The migrated tenant (``None`` for repartitions).
+    tenant: str | None
+    #: Layout variant applied (``shared`` / ``cat`` / ``pinned``).
+    variant: str | None
+    #: Tenants of the re-laid-out machine, after the action.
+    tenants: tuple[str, ...]
+    #: Per-tenant slowdowns before / after, aligned with the machine's
+    #: residents at each instant.
+    before: tuple[float, ...]
+    after: tuple[float, ...]
+    #: ``"cleaner-layout"`` or ``"slo-relief"``.
+    reason: str
+
+    #: Re-plans are bookkeeping, never admissions — kept ``False`` so a
+    #: mixed decision list can be filtered uniformly.
+    @property
+    def admitted(self) -> bool:
+        return False
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "event": "replan",
+            "time_s": self.time_s,
+            "policy": self.policy,
+            "trigger": self.trigger,
+            "action": self.action,
+            "machine": self.machine,
+            "target": self.target,
+            "tenant": self.tenant,
+            "variant": self.variant,
+            "tenants": list(self.tenants),
+            "before": list(self.before),
+            "after": list(self.after),
+            "reason": self.reason,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "ReplanDecision":
+        return ReplanDecision(
+            time_s=payload["time_s"],
+            policy=payload["policy"],
+            trigger=payload["trigger"],
+            action=payload["action"],
+            machine=payload["machine"],
+            target=payload["target"],
+            tenant=payload["tenant"],
+            variant=payload["variant"],
+            tenants=tuple(payload["tenants"]),
+            before=tuple(payload["before"]),
+            after=tuple(payload["after"]),
+            reason=payload["reason"],
+        )
+
+
+def decision_from_payload(
+    payload: dict[str, Any],
+) -> "Decision | ReplanDecision":
+    """Decode one decision-log entry: admission payloads (no ``event``
+    key — the pre-replan shape) or ``"event": "replan"`` entries."""
+    if payload.get("event") == "replan":
+        return ReplanDecision.from_payload(payload)
+    return Decision.from_payload(payload)
 
 
 def _reject(

@@ -102,6 +102,8 @@ class SchedReplayRunner(Runner):
         policies: tuple[str, ...] = DEFAULT_POLICIES,
         arrivals: int = 10,
         threads: int = 2,
+        departures: float = 0.0,
+        replan: bool = False,
     ) -> ReplayComparison:
         if machines < 1:
             raise SchedError("machines must be >= 1")
@@ -116,10 +118,15 @@ class SchedReplayRunner(Runner):
                 arrivals=arrivals,
                 threads=threads,
             )
+        if departures > 0:
+            trace = trace.with_departures(
+                fraction=departures, seed=session.config.seed
+            )
         evaluator = PlacementEvaluator(session)
         reports = [
             replay_trace(
-                trace, evaluator, machines=machines, policy=p, slo=slo
+                trace, evaluator, machines=machines, policy=p, slo=slo,
+                replan=replan,
             )
             for p in policies
         ]

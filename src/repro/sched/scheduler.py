@@ -41,7 +41,15 @@ from repro.core.classify import VICTIM_THRESHOLD
 from repro.core.report import ascii_table
 from repro.errors import SchedError
 from repro.sched.cluster import Cluster, Tenant
-from repro.sched.policy import Decision, PlacementPolicy, get_policy
+from repro.sched.policy import (
+    Decision,
+    PlacementPolicy,
+    ReplanDecision,
+    decision_from_payload,
+    enumerate_candidates,
+    enumerate_layouts,
+    get_policy,
+)
 from repro.sched.score import PlacementEvaluator
 from repro.sched.trace import ArrivalTrace
 from repro.telemetry.tracer import get_tracer
@@ -75,13 +83,19 @@ class Scheduler:
         evaluator: PlacementEvaluator,
         *,
         slo: float = VICTIM_THRESHOLD,
+        replan: bool = False,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.evaluator = evaluator
         self.slo = slo
-        #: Every decision made, in arrival order.
-        self.decisions: list[Decision] = []
+        #: Re-plan the vacated machine on every departure (see
+        #: :meth:`departure`); off by default so pre-existing replays
+        #: keep their byte-identical decision logs.
+        self.replan = replan
+        #: Every decision made, in event order (admissions interleaved
+        #: with any departure-triggered re-plans).
+        self.decisions: list[Decision | ReplanDecision] = []
 
     def arrival(self, tenant: Tenant, *, time_s: float = 0.0) -> Decision:
         """Decide one arrival; admitted layouts are applied (residents
@@ -133,11 +147,139 @@ class Scheduler:
         return decision
 
     def departure(self, tenant_id: str, *, time_s: float = 0.0) -> Tenant:
-        """Evict a resident tenant (explicit departure or completion)."""
+        """Evict a resident tenant (explicit departure or completion).
+
+        With :attr:`replan` on, the vacated machine is then re-planned
+        incrementally: its residents are re-partitioned when a strictly
+        cleaner layout exists, and the worst-off resident migrates to
+        another machine when it is at/over the SLO there and a clean
+        seat exists elsewhere.  Every action is logged as a
+        :class:`ReplanDecision`; everything is scored through the same
+        evaluator (and therefore the same warm store) as admissions.
+        """
         machine = self.cluster.find(tenant_id)
         if machine is None:
             raise SchedError(f"departure of unknown tenant {tenant_id!r}")
-        return machine.evict(tenant_id)
+        gone = machine.evict(tenant_id)
+        if self.replan:
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span(
+                    "sched.replan", machine=machine.name, trigger=tenant_id
+                ) as sp:
+                    n = len(self.decisions)
+                    self._replan(machine, tenant_id, time_s=time_s)
+                    sp.tag("actions", len(self.decisions) - n)
+            else:
+                self._replan(machine, tenant_id, time_s=time_s)
+        return gone
+
+    # -- departure re-planning ----------------------------------------------
+
+    def _score(self, machine) -> tuple[float, ...]:
+        return self.evaluator.slowdowns(machine.spec, machine.placements())
+
+    @staticmethod
+    def _rank(slowdowns: "tuple[float, ...]") -> tuple[float, float]:
+        """Layout quality, smaller is better: (worst, mean) slowdown."""
+        return (max(slowdowns), sum(slowdowns) / len(slowdowns))
+
+    def _replan(self, machine, trigger: str, *, time_s: float) -> None:
+        self._repartition(machine, trigger, time_s=time_s)
+        if self._migrate(machine, trigger, time_s=time_s):
+            # The source lost a resident: its partitions may now be
+            # stale too (e.g. the migrant's fenced-off ways go unused).
+            self._repartition(machine, trigger, time_s=time_s)
+
+    def _repartition(self, machine, trigger: str, *, time_s: float) -> bool:
+        """Redraw the vacated machine's masks/pins when a strictly
+        cleaner resident-only layout exists.  Strictness is what keeps
+        this idempotent: the current layout (or its equal) never wins,
+        so a no-op departure logs nothing and replays stay canonical."""
+        layouts = enumerate_layouts(machine)
+        if not layouts:
+            return False
+        before = self._score(machine)
+        current = self._rank(before)
+        scored = [
+            (self._rank(self.evaluator.slowdowns(machine.spec, lay.placements)), i, lay)
+            for i, lay in enumerate(layouts)
+        ]
+        best_rank, _, best = min(scored, key=lambda row: (row[0], row[1]))
+        if best_rank >= current:
+            return False
+        machine.apply_layout(best.assignments())
+        after = self._score(machine)
+        self.decisions.append(
+            ReplanDecision(
+                time_s=time_s,
+                policy=self.policy.name,
+                trigger=trigger,
+                action="repartition",
+                machine=machine.name,
+                target=None,
+                tenant=None,
+                variant=best.variant,
+                tenants=best.tenants,
+                before=before,
+                after=after,
+                reason="cleaner-layout",
+            )
+        )
+        return True
+
+    def _migrate(self, machine, trigger: str, *, time_s: float) -> bool:
+        """Move the worst-off resident to a clean seat on another
+        machine — only when it is at/over the SLO where it sits (the
+        situation arrival-time admission can no longer fix) and the
+        move is strictly better for it with nobody pushed to the SLO
+        at the destination."""
+        before = self._score(machine)
+        if not before or max(before) < self.slo:
+            return False
+        residents = machine.residents()
+        worst_i = max(range(len(before)), key=lambda i: before[i])
+        mover = residents[worst_i]
+        scored = []
+        for i, cand in enumerate(
+            enumerate_candidates(self.cluster, mover.unpartitioned())
+        ):
+            if cand.machine == machine.name:
+                continue
+            spec = self.cluster.machine(cand.machine).spec
+            slowdowns = self.evaluator.slowdowns(spec, cand.placements)
+            if any(s >= self.slo for s in slowdowns):
+                continue
+            if slowdowns[-1] >= before[worst_i]:
+                continue
+            scored.append((self._rank(slowdowns), i, cand, slowdowns))
+        if not scored:
+            return False
+        _, _, best, predicted = min(scored, key=lambda row: (row[0], row[1]))
+        machine.evict(mover.tenant)
+        target = self.cluster.machine(best.machine)
+        target.apply_layout(best.assignments())
+        seat = best.arrival_placement
+        target.admit(
+            replace(mover, llc_ways=seat.llc_ways, pinning=seat.pinning)
+        )
+        self.decisions.append(
+            ReplanDecision(
+                time_s=time_s,
+                policy=self.policy.name,
+                trigger=trigger,
+                action="migrate",
+                machine=machine.name,
+                target=best.machine,
+                tenant=mover.tenant,
+                variant=best.variant,
+                tenants=best.tenants,
+                before=before,
+                after=predicted,
+                reason="slo-relief",
+            )
+        )
+        return True
 
 
 @dataclass(frozen=True)
@@ -193,7 +335,7 @@ class ReplayReport:
     machines: tuple[str, ...]
     total_slots: int
     trace_fingerprint: str
-    decisions: list[Decision]
+    decisions: "list[Decision | ReplanDecision]"
     outcomes: list[TenantOutcome]
     sim_time_s: float
     #: Time-weighted occupied-slot fraction over the whole replay.
@@ -213,6 +355,11 @@ class ReplayReport:
     def violations(self) -> int:
         """Tenants whose interval slowdown ever reached the SLO."""
         return sum(1 for o in self.admitted if o.violated)
+
+    @property
+    def replans(self) -> int:
+        """Departure-triggered re-planning actions in the decision log."""
+        return sum(1 for d in self.decisions if isinstance(d, ReplanDecision))
 
     def slowdown_percentile(self, q: float) -> float:
         return percentile([o.achieved_slowdown for o in self.admitted], q)
@@ -249,6 +396,7 @@ class ReplayReport:
                 "admitted": len(self.admitted),
                 "rejected": self.rejections,
                 "violations": self.violations,
+                "replans": self.replans,
                 "p50_slowdown": self.p50_slowdown,
                 "p95_slowdown": self.p95_slowdown,
                 "mean_slowdown": self.mean_slowdown,
@@ -263,7 +411,7 @@ class ReplayReport:
             machines=tuple(payload["machines"]),
             total_slots=payload["total_slots"],
             trace_fingerprint=payload["trace_fingerprint"],
-            decisions=[Decision.from_payload(d) for d in payload["decisions"]],
+            decisions=[decision_from_payload(d) for d in payload["decisions"]],
             outcomes=[TenantOutcome.from_payload(o) for o in payload["outcomes"]],
             sim_time_s=payload["sim_time_s"],
             utilization=payload["utilization"],
@@ -297,9 +445,10 @@ class ReplayReport:
                 f"SLO {self.slo:.2f}x"
             ),
         )
+        replans = f", {self.replans} replan(s)" if self.replans else ""
         return table + (
             f"{len(self.admitted)} admitted / {self.rejections} rejected, "
-            f"{self.violations} SLO violation(s); slowdown p50 "
+            f"{self.violations} SLO violation(s){replans}; slowdown p50 "
             f"{self.p50_slowdown:.3f}x p95 {self.p95_slowdown:.3f}x mean "
             f"{self.mean_slowdown:.3f}x; utilization "
             f"{self.utilization * 100:.1f}% over {self.sim_time_s:.1f}s\n"
@@ -325,10 +474,13 @@ def replay_trace(
     policy: str = "interference",
     slo: float = VICTIM_THRESHOLD,
     cluster: Cluster | None = None,
+    replan: bool = False,
 ) -> ReplayReport:
     """Replay a trace through one policy over a fresh cluster (or the
     given one) and simulate the tenants' lifetimes.  See the module
-    docstring for the time model.
+    docstring for the time model; ``replan`` turns on departure-time
+    re-planning (migrations / re-partitions land in the decision log as
+    ``replan`` events).
 
     Telemetry: the whole replay runs under a ``sched.replay`` span and,
     when tracing is enabled, the report's headline numbers are published
@@ -338,7 +490,7 @@ def replay_trace(
     if not tracer.enabled:
         report = _replay_trace_impl(
             trace, evaluator, machines=machines, policy=policy, slo=slo,
-            cluster=cluster,
+            cluster=cluster, replan=replan,
         )
     else:
         with tracer.span(
@@ -349,7 +501,7 @@ def replay_trace(
         ) as sp:
             report = _replay_trace_impl(
                 trace, evaluator, machines=machines, policy=policy, slo=slo,
-                cluster=cluster,
+                cluster=cluster, replan=replan,
             )
             sp.tag("sim_time_s", round(report.sim_time_s, 6))
             for key, value in (
@@ -376,123 +528,19 @@ def _replay_trace_impl(
     policy: str,
     slo: float,
     cluster: Cluster | None,
+    replan: bool = False,
 ) -> ReplayReport:
+    # The simulated-time loop itself lives in repro.sched.driver (shared,
+    # verbatim, with the daemon drain — that sharing is what makes
+    # daemon-vs-in-process replays byte-identical); here we only build the
+    # scheduler and run the driver against its in-process port.
+    import asyncio
+
+    from repro.sched.driver import LocalPort, drive_trace
+
     if cluster is None:
         cluster = Cluster.homogeneous(machines, evaluator.session.spec)
-    sched = Scheduler(cluster, get_policy(policy), evaluator, slo=slo)
-    active: dict[str, _Active] = {}
-    outcomes: dict[str, TenantOutcome] = {}
-    order: list[str] = []
-    events = list(trace.events)
-    i = 0
-    now = 0.0
-    util_area = 0.0
-
-    def finish(tid: str, end_s: float, *, evicted: bool) -> None:
-        a = active.pop(tid)
-        sched.departure(tid, time_s=end_s)
-        elapsed = end_s - a.tenant.arrival_s
-        if evicted:
-            done = a.tenant.solo_s - max(a.remaining_s, 0.0)
-            achieved = elapsed / done if done > _EPS else 1.0
-            status = "evicted"
-        else:
-            achieved = elapsed / a.tenant.solo_s
-            status = "completed"
-        outcomes[tid] = TenantOutcome(
-            tenant=tid,
-            workload=a.tenant.workload,
-            threads=a.tenant.threads,
-            status=status,
-            machine=a.machine,
-            arrival_s=a.tenant.arrival_s,
-            end_s=end_s,
-            solo_s=a.tenant.solo_s,
-            achieved_slowdown=achieved,
-            peak_slowdown=a.peak,
-            violated=a.violated,
-        )
-
-    while i < len(events) or active:
-        # Current per-tenant slowdowns under each machine's live layout.
-        rates: dict[str, float] = {}
-        for m in cluster:
-            ids = tuple(m.tenants)
-            if not ids:
-                continue
-            for tid, s in zip(ids, evaluator.slowdowns(m.spec, m.placements())):
-                rates[tid] = s
-        for tid, a in active.items():
-            s = rates[tid]
-            if s > a.peak:
-                a.peak = s
-            if s >= slo:
-                a.violated = True
-        next_event = events[i].time_s if i < len(events) else float("inf")
-        next_done = float("inf")
-        for tid, a in active.items():
-            t_fin = now + a.remaining_s * rates[tid]
-            if t_fin < next_done:
-                next_done = t_fin
-        t_next = min(next_event, next_done)
-        dt = t_next - now
-        if dt > 0:
-            util_area += cluster.used_slots * dt
-            for tid, a in active.items():
-                a.remaining_s -= dt / rates[tid]
-            now = t_next
-        else:
-            now = max(now, t_next)
-        # Completions first (they free slots for same-instant arrivals).
-        for tid in [t for t, a in active.items() if a.remaining_s <= _EPS]:
-            finish(tid, now, evicted=False)
-        while i < len(events) and events[i].time_s <= now + _EPS:
-            e = events[i]
-            i += 1
-            if e.kind == "arrival":
-                tenant = Tenant(
-                    tenant=e.tenant,
-                    workload=e.workload,
-                    threads=e.threads,
-                    solo_s=e.solo_s,
-                    arrival_s=e.time_s,
-                )
-                order.append(e.tenant)
-                decision = sched.arrival(tenant, time_s=e.time_s)
-                if decision.admitted:
-                    active[e.tenant] = _Active(
-                        tenant=replace(tenant, arrival_s=e.time_s),
-                        machine=decision.machine or "",
-                        remaining_s=e.solo_s,
-                    )
-                else:
-                    outcomes[e.tenant] = TenantOutcome(
-                        tenant=e.tenant,
-                        workload=e.workload,
-                        threads=e.threads,
-                        status="rejected",
-                        machine=None,
-                        arrival_s=e.time_s,
-                        end_s=e.time_s,
-                        solo_s=e.solo_s,
-                        achieved_slowdown=0.0,
-                        peak_slowdown=0.0,
-                        violated=False,
-                    )
-            elif e.tenant in active:
-                finish(e.tenant, now, evicted=True)
-            # A departure of an already-finished tenant is a no-op.
-
-    return ReplayReport(
-        policy=sched.policy.name,
-        slo=slo,
-        machines=tuple(m.name for m in cluster),
-        total_slots=cluster.total_slots,
-        trace_fingerprint=trace.fingerprint,
-        decisions=sched.decisions,
-        outcomes=[outcomes[tid] for tid in order],
-        sim_time_s=now,
-        utilization=(
-            util_area / (cluster.total_slots * now) if now > 0 else 0.0
-        ),
+    sched = Scheduler(
+        cluster, get_policy(policy), evaluator, slo=slo, replan=replan
     )
+    return asyncio.run(drive_trace(LocalPort(sched), trace))

@@ -14,9 +14,10 @@ Traces come from two places and round-trip through one JSON payload:
 * :func:`load_trace` / :meth:`ArrivalTrace.to_json` — a trace file, for
   replaying a recorded or hand-written stream.
 
-``parse_trace`` accepts the CLI's two spellings: ``seed:S:N[:T]``
-(synthetic, N arrivals of T threads from seed S) or a path to a trace
-JSON file.
+``parse_trace`` accepts the CLI's two spellings: ``seed:S:N[:T[:D]]``
+(synthetic, N arrivals of T threads from seed S; an optional departure
+fraction D synthesizes seeded early departures via
+:meth:`ArrivalTrace.with_departures`) or a path to a trace JSON file.
 """
 
 from __future__ import annotations
@@ -180,6 +181,43 @@ class ArrivalTrace:
             )
         return ArrivalTrace(tuple(events))
 
+    def with_departures(
+        self,
+        *,
+        fraction: float = 0.35,
+        seed: int = 0,
+        window: tuple[float, float] = (0.3, 0.9),
+    ) -> "ArrivalTrace":
+        """This trace plus seeded *early departures*: a ``fraction`` of
+        the arrivals (rounded, seeded sample) each gains a departure at
+        ``arrival + U(window) * solo_s`` — inside the tenant's own solo
+        residency, so the departure plausibly fires while it still
+        holds a seat.  Same inputs, same trace — bit for bit; the
+        service tier's drain uses this to exercise departure-triggered
+        re-planning."""
+        if fraction < 0 or fraction > 1:
+            raise SchedError(f"departure fraction must lie in [0, 1], got {fraction}")
+        arrivals = self.arrivals
+        count = min(int(round(fraction * len(arrivals))), len(arrivals))
+        if count < 1:
+            return self
+        rng = random.Random(seed)
+        picks = sorted(rng.sample(range(len(arrivals)), count))
+        extra = []
+        for idx in picks:
+            a = arrivals[idx]
+            extra.append(
+                TraceEvent(
+                    time_s=round(a.time_s + rng.uniform(*window) * a.solo_s, 6),
+                    kind="departure",
+                    tenant=a.tenant,
+                )
+            )
+        # Stable sort: at equal times existing events (arrivals first
+        # among them) stay ahead of the synthesized departures.
+        merged = sorted(self.events + tuple(extra), key=lambda e: e.time_s)
+        return ArrivalTrace(tuple(merged))
+
 
 def load_trace(path: "str | Path") -> ArrivalTrace:
     """Load a trace JSON file (the :meth:`ArrivalTrace.payload` shape)."""
@@ -194,19 +232,26 @@ def load_trace(path: "str | Path") -> ArrivalTrace:
 
 
 def parse_trace(spec: str, workloads: Sequence[str]) -> ArrivalTrace:
-    """Parse a CLI trace spec: ``seed:S:N[:T]`` (synthetic — seed S,
-    N arrivals, T threads each, default 2) or a trace-file path."""
+    """Parse a CLI trace spec: ``seed:S:N[:T[:D]]`` (synthetic — seed S,
+    N arrivals, T threads each, default 2; D > 0 additionally
+    synthesizes early departures for that fraction of arrivals) or a
+    trace-file path."""
     if spec.startswith("seed:"):
         parts = spec.split(":")
         try:
             seed = int(parts[1])
             arrivals = int(parts[2]) if len(parts) > 2 else 10
             threads = int(parts[3]) if len(parts) > 3 else 2
+            departures = float(parts[4]) if len(parts) > 4 else 0.0
         except (IndexError, ValueError):
             raise SchedError(
-                f"bad trace spec {spec!r}; expected seed:S:N[:T], e.g. seed:0:10"
+                f"bad trace spec {spec!r}; expected seed:S:N[:T[:D]], "
+                f"e.g. seed:0:10 or seed:0:10:2:0.5"
             ) from None
-        return ArrivalTrace.synthetic(
+        trace = ArrivalTrace.synthetic(
             workloads, seed=seed, arrivals=arrivals, threads=threads
         )
+        if departures > 0:
+            trace = trace.with_departures(fraction=departures, seed=seed)
+        return trace
     return load_trace(spec)

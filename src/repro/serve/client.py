@@ -1,0 +1,192 @@
+"""Async client for the scheduler daemon's JSON API.
+
+One :class:`ServeClient` method per endpoint; every call is one
+short-lived connection (``Connection: close``), which matches the
+drain's sequential replay loop and sidesteps connection-pool state
+entirely.  Responses come back as parsed JSON; non-2xx statuses raise
+:class:`~repro.errors.ServeError` carrying the daemon's ``error``
+message.  :meth:`events` is the exception to one-shot: it holds its
+connection open and yields Server-Sent Events as the daemon publishes
+them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, AsyncIterator
+
+from repro.errors import ServeError
+from repro.serve.http import _read_head, read_response, request_bytes
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to one ``repro serve start`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7453, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Any:
+        try:
+            return await asyncio.wait_for(
+                self._request_once(method, path, payload), self.timeout
+            )
+        except asyncio.TimeoutError:
+            raise ServeError(
+                f"{method} {path} timed out after {self.timeout}s "
+                f"against {self.url}"
+            ) from None
+        except (ConnectionError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.url}: {exc}"
+            ) from None
+
+    async def _request_once(
+        self, method: str, path: str, payload: Any
+    ) -> Any:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                request_bytes(
+                    method, path, payload, host=f"{self.host}:{self.port}"
+                )
+            )
+            await writer.drain()
+            status, _, body = await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        data = json.loads(body) if body else None
+        if status >= 400:
+            message = (
+                data.get("error") if isinstance(data, dict) else None
+            ) or f"HTTP {status}"
+            raise ServeError(f"{method} {path}: {message}")
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+    async def info(self) -> dict:
+        return await self._request("GET", "/info")
+
+    async def state(self) -> dict:
+        return await self._request("GET", "/state")
+
+    async def decisions(self) -> dict:
+        return await self._request("GET", "/decisions")
+
+    async def cluster(self) -> dict:
+        return await self._request("GET", "/cluster")
+
+    async def metrics(self) -> dict:
+        return await self._request("GET", "/metrics")
+
+    async def arrival(
+        self,
+        *,
+        tenant: str,
+        workload: str,
+        threads: int,
+        solo_s: float = 1.0,
+        time_s: float = 0.0,
+        budget_s: "float | None" = None,
+    ) -> dict:
+        """Submit one arrival; the response carries the serialized
+        decision, the observed admission latency, and — when a budget
+        applies — whether the latency stayed within it."""
+        body: dict[str, Any] = {
+            "tenant": tenant,
+            "workload": workload,
+            "threads": threads,
+            "solo_s": solo_s,
+            "time_s": time_s,
+        }
+        if budget_s is not None:
+            body["budget_s"] = budget_s
+        return await self._request("POST", "/arrivals", body)
+
+    async def departure(self, tenant: str, time_s: float = 0.0) -> dict:
+        """Evict one tenant; the response lists any re-plan actions the
+        departure triggered."""
+        return await self._request(
+            "POST", "/departures", {"tenant": tenant, "time_s": time_s}
+        )
+
+    async def shutdown(self) -> dict:
+        return await self._request("POST", "/shutdown")
+
+    async def wait_ready(self, timeout: float = 15.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers (e.g. right after
+        spawning it as a subprocess)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return await self._request_once("GET", "/healthz", None)
+            except (ConnectionError, OSError, ServeError):
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"daemon at {self.url} not ready after {timeout}s"
+                    ) from None
+                await asyncio.sleep(0.05)
+
+    # -- streaming -----------------------------------------------------------
+
+    async def events(self) -> AsyncIterator[dict]:
+        """Yield ``{"event": name, "data": payload}`` from ``GET /events``
+        until the daemon closes the stream (its shutdown) or the caller
+        breaks out of the loop (which hangs up)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                request_bytes(
+                    "GET", "/events", host=f"{self.host}:{self.port}"
+                )
+            )
+            await writer.drain()
+            head = await _read_head(reader)
+            if head is None or " 200 " not in head[0] + " ":
+                raise ServeError(
+                    f"event stream refused: {head[0] if head else 'closed'}"
+                )
+            event_name = None
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    yield {
+                        "event": event_name,
+                        "data": json.loads(line[len("data:"):].strip()),
+                    }
+                elif not line:
+                    event_name = None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

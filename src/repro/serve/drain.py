@@ -1,0 +1,115 @@
+"""Open-loop trace drains against a live daemon.
+
+:class:`RemotePort` puts the daemon's JSON API behind the same
+:class:`~repro.sched.driver.SchedulerPort` interface that
+:func:`~repro.sched.scheduler.replay_trace` drives in-process — so
+:func:`drain_trace` runs the *identical* simulated-time loop
+(:func:`~repro.sched.driver.drive_trace`), just with every decide /
+depart / observe hop crossing the wire.  Python's JSON float handling
+round-trips every value bit-for-bit, therefore a drain of a trace
+against a daemon produces a :class:`~repro.sched.scheduler.ReplayReport`
+— decision log included — byte-identical to the in-process replay of
+that trace over the same store and configuration.  That equality is the
+service tier's acceptance test, and CI checks it.
+
+On top of the report, the drain keeps what only the remote path can
+see: per-arrival admission latencies (and budget misses) as measured
+*inside* the daemon, the numbers the ``serve`` benchmark turns into
+cold-vs-warm percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sched.driver import SchedulerPort, drive_trace
+from repro.sched.policy import decision_from_payload
+from repro.sched.scheduler import percentile
+from repro.sched.trace import ArrivalTrace, TraceEvent
+from repro.serve.client import ServeClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.policy import Decision, ReplanDecision
+    from repro.sched.scheduler import ReplayReport
+
+__all__ = ["DrainResult", "RemotePort", "drain_trace"]
+
+
+class RemotePort(SchedulerPort):
+    """A live daemon behind the driver's port interface."""
+
+    def __init__(self, client: ServeClient) -> None:
+        self.client = client
+        #: Admission latencies (daemon-measured, seconds), arrival order.
+        self.latencies: list[float] = []
+        self.budget_misses = 0
+
+    async def info(self) -> dict:
+        return await self.client.info()
+
+    async def decide(self, event: TraceEvent) -> "Decision":
+        response = await self.client.arrival(
+            tenant=event.tenant,
+            workload=event.workload,
+            threads=event.threads,
+            solo_s=event.solo_s,
+            time_s=event.time_s,
+        )
+        self.latencies.append(float(response.get("latency_s", 0.0)))
+        if response.get("within_budget") is False:
+            self.budget_misses += 1
+        return decision_from_payload(response["decision"])
+
+    async def depart(self, tenant_id: str, time_s: float) -> None:
+        await self.client.departure(tenant_id, time_s)
+
+    async def state(self) -> "tuple[dict[str, float], dict[str, str], int]":
+        payload = await self.client.state()
+        return payload["rates"], payload["homes"], payload["used_slots"]
+
+    async def decisions(self) -> "list[Decision | ReplanDecision]":
+        payload = await self.client.decisions()
+        return [decision_from_payload(d) for d in payload["decisions"]]
+
+
+@dataclass
+class DrainResult:
+    """One drained trace: the replay report plus the latency telemetry
+    only the remote path observes."""
+
+    report: "ReplayReport"
+    latencies: list[float] = field(default_factory=list)
+    budget_misses: int = 0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return percentile(self.latencies, 0.95)
+
+    def render(self) -> str:
+        lat = (
+            f"admission latency p50 {self.p50_latency_s * 1e3:.2f}ms "
+            f"p95 {self.p95_latency_s * 1e3:.2f}ms over "
+            f"{len(self.latencies)} arrival(s)"
+        )
+        if self.budget_misses:
+            lat += f", {self.budget_misses} over budget"
+        return self.report.render() + lat + "\n"
+
+
+async def drain_trace(
+    client: ServeClient, trace: ArrivalTrace
+) -> DrainResult:
+    """Drive one trace open-loop through a daemon; the embedded report
+    is byte-identical to the in-process replay of the same trace."""
+    port = RemotePort(client)
+    report = await drive_trace(port, trace)
+    return DrainResult(
+        report=report,
+        latencies=port.latencies,
+        budget_misses=port.budget_misses,
+    )

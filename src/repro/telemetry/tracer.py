@@ -145,6 +145,12 @@ class NullTracer:
     def merge_counters(self, prefix: str, counts: Any) -> None:
         pass
 
+    def subscribe(self, fn: Any) -> Any:
+        return fn
+
+    def unsubscribe(self, fn: Any) -> None:
+        pass
+
     def flush(self) -> None:
         pass
 
@@ -164,6 +170,8 @@ class Tracer:
         self._fh: IO[str] | None = None
         self._segment: Path | None = None
         self._segment_pid: int | None = None
+        #: Live-stream observers (see :meth:`subscribe`).
+        self._subscribers: list = []
         # Flush the final metrics snapshot on clean interpreter exit —
         # pool/campaign workers end by process exit, not by an explicit
         # tracer shutdown.
@@ -209,6 +217,38 @@ class Tracer:
                 self._fh = open(segment, "a", encoding="utf-8")
             self._fh.write(json.dumps(payload, default=str) + "\n")
             self._fh.flush()
+            subscribers = tuple(self._subscribers)
+        # Notify outside the write lock: a slow observer must never
+        # stall (or deadlock) the traced path, and an observer error
+        # must never fail it — telemetry stays strictly out-of-band.
+        for fn in subscribers:
+            try:
+                fn(payload)
+            except Exception:  # pragma: no cover - observer bug, not ours
+                pass
+
+    # -- live streaming ------------------------------------------------------
+
+    def subscribe(self, fn: Any) -> Any:
+        """Register a callback invoked with every event payload (span
+        or metrics line) *as it is written* — the hook the service
+        tier's ``/events`` stream rides instead of tailing the sink.
+
+        Called from whichever thread wrote the event; observers must be
+        thread-safe and fast (hand off to a queue).  Returns ``fn`` so
+        it can be used as a decorator; pair with :meth:`unsubscribe`.
+        """
+        with self._lock:
+            self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Any) -> None:
+        """Remove a subscriber (no-op when not registered)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(fn)
+            except ValueError:
+                pass
 
     # -- spans --------------------------------------------------------------
 
@@ -274,6 +314,9 @@ class Tracer:
         self._segment_pid = None
         self._lock = threading.Lock()
         self.metrics = MetricsRegistry()
+        # Parent subscribers hold parent-side state (event loops,
+        # queues); a fork child must not feed them.
+        self._subscribers = []
 
     def close(self) -> None:
         """Flush metrics and release the segment handle.

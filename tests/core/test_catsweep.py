@@ -8,7 +8,15 @@ from dataclasses import replace
 import pytest
 
 from repro.core import ExperimentConfig
-from repro.core.catsweep import CatSweepResult, CatSweepPoint, contiguous_split
+from repro.core.catsweep import (
+    CatSweepPoint,
+    CatSweepResult,
+    _chunk_positions,
+    contiguous_split,
+    equal_way_shares,
+    interleaved_split,
+    way_partition,
+)
 from repro.errors import ScenarioError
 from repro.machine.spec import CacheSpec, MachineSpec
 from repro.session import Session
@@ -46,6 +54,66 @@ class TestContiguousSplit:
         for bad in (0, 8, 9, -1):
             with pytest.raises(ScenarioError):
                 contiguous_split(8, bad)
+
+
+class TestMaskHelpers:
+    def test_interleaved_nibble_split_is_striped(self):
+        assert interleaved_split(8, 4) == (0x55, 0xAA)
+
+    def test_interleaved_splits_are_disjoint_and_cover(self):
+        for w in (8, 20):
+            for k in range(1, w):
+                fg, bg = interleaved_split(w, k)
+                assert fg & bg == 0
+                assert fg | bg == (1 << w) - 1
+                assert bin(fg).count("1") == k
+
+    def test_interleaved_validation(self):
+        for bad in (0, 8, 9, -1):
+            with pytest.raises(ScenarioError):
+                interleaved_split(8, bad)
+
+    def test_equal_way_shares(self):
+        assert equal_way_shares(8, 3) == (3, 3, 2)
+        assert equal_way_shares(8, 2) == (4, 4)
+        assert equal_way_shares(20, 4) == (5, 5, 5, 5)
+        assert equal_way_shares(5, 5) == (1, 1, 1, 1, 1)
+        with pytest.raises(ScenarioError):
+            equal_way_shares(8, 0)
+        with pytest.raises(ScenarioError):
+            equal_way_shares(3, 4)
+
+    def test_way_partition_generalizes_contiguous_split(self):
+        assert way_partition(8, (4, 4)) == contiguous_split(8, 4)
+        assert way_partition(8, (3, 3, 2)) == (0xE0, 0x1C, 0x03)
+        masks = way_partition(20, equal_way_shares(20, 3))
+        union = 0
+        for m in masks:
+            assert union & m == 0
+            union |= m
+        assert union == (1 << 20) - 1
+
+    def test_way_partition_validation(self):
+        with pytest.raises(ScenarioError):
+            way_partition(8, (4, 3))  # doesn't cover
+        with pytest.raises(ScenarioError):
+            way_partition(8, (8, 0))  # empty share
+        with pytest.raises(ScenarioError):
+            way_partition(8, ())
+
+    def test_chunk_positions_splits_sparse_masks(self):
+        # A non-contiguous background region shared by two tenants:
+        # highest ways first, populations as equal as possible.
+        assert _chunk_positions(0xAA, 2) == (0xA0, 0x0A)
+        a, b, c = _chunk_positions(0xFF, 3)
+        assert (a, b, c) == (0xE0, 0x1C, 0x03)
+        for parts in (1, 2, 3):
+            chunks = _chunk_positions(0x5D5, parts)
+            union = 0
+            for m in chunks:
+                assert union & m == 0
+                union |= m
+            assert union == 0x5D5
 
 
 class TestCatSweepRunner:
@@ -124,6 +192,86 @@ class TestCatSweepRunner:
     def test_threads_must_fit(self):
         with pytest.raises(ScenarioError):
             Session(make_config()).run("cat-sweep", threads=5)
+
+
+class TestLayoutSweeps:
+    def test_interleaved_sweep_stripes_the_foreground(self):
+        session = Session(make_config(spec=spec_8way()))
+        result = session.run("cat-sweep", layout="interleaved").result
+        assert result.layout == "interleaved"
+        assert len(result.points) == 3 + 7
+        nibble = result.point("i:4/4")
+        assert nibble.fg_mask == 0x55
+        assert nibble.bg_mask == 0xAA
+        assert nibble.masks == (0x55, 0xAA)
+
+    def test_multi_background_sweep(self):
+        session = Session(make_config(spec=spec_8way(), threads=2))
+        result = session.run(
+            "cat-sweep", bgs=("Stream", "xalancbmk"), threads=2
+        ).result
+        assert result.bgs == ("Stream", "xalancbmk")
+        assert result.bg == "Stream+xalancbmk"
+        # fg takes 1..n_ways-2 ways; the rest splits between two bgs.
+        assert len(result.points) == 3 + 6
+        for p in result.points:
+            if not p.masked:
+                continue
+            assert p.masks is not None and len(p.masks) == 3
+            union = 0
+            for m in p.masks:
+                assert m and union & m == 0
+                union |= m
+            assert union == (1 << 8) - 1
+            assert p.bg_mask == p.masks[1] | p.masks[2]
+
+    def test_multi_background_record_roundtrip(self):
+        from repro.session import RunRecord
+
+        session = Session(make_config(spec=spec_8way(), threads=2))
+        record = session.run(
+            "cat-sweep", bgs=("Stream", "xalancbmk"), threads=2,
+            layout="interleaved",
+        )
+        clone = RunRecord.from_json(record.to_json())
+        assert clone.result.points == record.result.points
+        assert clone.result.bgs == record.result.bgs
+        assert clone.result.layout == "interleaved"
+
+    def test_legacy_six_element_rows_still_decode(self):
+        from repro.session import get_runner
+
+        runner = get_runner("cat-sweep")
+        payload = {
+            "fg": "xalancbmk", "bg": "Stream", "threads": 4, "n_ways": 8,
+            "points": [
+                ["pressure", None, None, "pressure", 1.4, 0.8],
+                ["4/4", 0xF0, 0x0F, None, 1.1, 0.6],
+            ],
+        }
+        result = runner.decode(payload)
+        assert result.layout == "contiguous"
+        assert result.bgs == ()
+        assert all(p.masks is None for p in result.points)
+        # A classic pair sweep still encodes to the legacy 6-element shape.
+        assert runner.encode(result)["points"] == payload["points"]
+        assert "bgs" not in runner.encode(result)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ScenarioError, match="layout"):
+            Session(make_config(spec=spec_8way())).run(
+                "cat-sweep", layout="diagonal"
+            )
+
+    def test_too_many_backgrounds_for_ways(self):
+        spec = replace(
+            MachineSpec(),
+            llc=CacheSpec("LLC", 8 * MiB, associativity=4, latency_cycles=35),
+        )
+        with pytest.raises(ScenarioError, match="LLC ways"):
+            Session(make_config(spec=spec, threads=1)).run(
+                "cat-sweep", bgs=tuple(f"bg{i}" for i in range(4)), threads=1
+            )
 
 
 class TestParetoLogic:
