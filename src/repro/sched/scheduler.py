@@ -535,6 +535,7 @@ def _replay_trace_impl(
     # daemon-vs-in-process replays byte-identical); here we only build the
     # scheduler and run the driver against its in-process port.
     import asyncio
+    from concurrent.futures import ThreadPoolExecutor
 
     from repro.sched.driver import LocalPort, drive_trace
 
@@ -543,4 +544,16 @@ def _replay_trace_impl(
     sched = Scheduler(
         cluster, get_policy(policy), evaluator, slo=slo, replan=replan
     )
-    return asyncio.run(drive_trace(LocalPort(sched), trace))
+    coro = drive_trace(LocalPort(sched), trace)
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    # Called with an event loop already running on this thread (async
+    # caller, Jupyter): asyncio.run() would raise, so give the driver its
+    # own loop on a helper thread.  The driver never yields to real I/O
+    # through LocalPort, so this stays deterministic.
+    with ThreadPoolExecutor(
+        max_workers=1, thread_name_prefix="sched-replay"
+    ) as pool:
+        return pool.submit(asyncio.run, coro).result()

@@ -41,9 +41,11 @@ streams terminate, telemetry segments flush, and the lock is released.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import logging
 import signal
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
@@ -73,6 +75,10 @@ __all__ = ["ServeDaemon"]
 #: Per-watcher event-queue depth; a consumer this far behind loses
 #: events rather than back-pressuring the scheduler.
 _WATCHER_DEPTH = 256
+
+#: Admission-latency samples retained for /metrics percentiles; older
+#: samples age out so daemon memory stays flat over its lifetime.
+_LATENCY_WINDOW = 4096
 
 
 class ServeDaemon:
@@ -104,15 +110,18 @@ class ServeDaemon:
             cluster, get_policy(policy), self.evaluator, slo=slo, replan=replan
         )
         self.metrics = MetricsRegistry()
-        #: Raw admission latencies (seconds) — kept whole because the
-        #: streaming Histogram cannot answer percentile queries.
-        self.latencies: list[float] = []
+        #: Recent admission latencies (seconds) — the streaming Histogram
+        #: cannot answer percentile queries, so raw samples are kept, but
+        #: only the last :data:`_LATENCY_WINDOW` of them: a long-running
+        #: daemon must not grow per-arrival state without bound.
+        self.latencies: "deque[float]" = deque(maxlen=_LATENCY_WINDOW)
         self._lock = asyncio.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-sched"
         )
         self._watchers: "set[asyncio.Queue]" = set()
         self._stop = asyncio.Event()
+        self._closing = False
         self._server: "asyncio.base_events.Server | None" = None
         self._store_lock = None
         self._tracer_cb = None
@@ -185,6 +194,22 @@ class ServeDaemon:
 
     async def shutdown(self) -> None:
         """Orderly teardown; idempotent."""
+        self._closing = True  # new /events streams exit immediately
+        # Wake the /events handlers *before* waiting on the server: since
+        # 3.12.1 ``Server.wait_closed()`` blocks until every live handler
+        # returns, and a stream handler only returns once it has seen the
+        # end-of-stream sentinel.  The sentinel must land even on a
+        # backed-up queue — shed its oldest items until it fits.
+        for queue in tuple(self._watchers):
+            while True:
+                try:
+                    queue.put_nowait(None)  # end-of-stream sentinel
+                    break
+                except asyncio.QueueFull:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:  # pragma: no cover - race
+                        pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -193,13 +218,6 @@ class ServeDaemon:
         if self._tracer_cb is not None:
             tracer.unsubscribe(self._tracer_cb)
             self._tracer_cb = None
-        for queue in tuple(self._watchers):
-            try:
-                queue.put_nowait(None)  # end-of-stream sentinel
-            except asyncio.QueueFull:  # pragma: no cover - drained below
-                pass
-        # Give event-stream handlers a tick to flush and hang up.
-        await asyncio.sleep(0)
         self._pool.shutdown(wait=True)
         if tracer.enabled:
             tracer.flush()
@@ -218,9 +236,20 @@ class ServeDaemon:
             except asyncio.QueueFull:
                 pass  # slow watcher: drop, never stall the scheduler
 
-    async def _stream_events(self, writer: asyncio.StreamWriter) -> None:
+    async def _stream_events(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._closing:
+            return
         queue: "asyncio.Queue" = asyncio.Queue(maxsize=_WATCHER_DEPTH)
         self._watchers.add(queue)
+        # An SSE client never sends again after the request, so any read
+        # completing (normally EOF) means it hung up.  Without this a
+        # disconnected watcher parked in ``queue.get()`` is only noticed
+        # at the next publish — never, on an idle daemon — and dead
+        # handlers pile up in ``self._watchers``.
+        hangup = asyncio.ensure_future(reader.read(1))
+        getter: "asyncio.Future | None" = None
         try:
             writer.write(sse_preamble())
             writer.write(
@@ -228,7 +257,14 @@ class ServeDaemon:
             )
             await writer.drain()
             while True:
-                item = await queue.get()
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    (getter, hangup), return_when=asyncio.FIRST_COMPLETED
+                )
+                if hangup in done:
+                    break
+                item = getter.result()
+                getter = None
                 if item is None:
                     break
                 writer.write(sse_event(item["payload"], event=item["event"]))
@@ -237,6 +273,13 @@ class ServeDaemon:
             pass
         finally:
             self._watchers.discard(queue)
+            for task in (getter, hangup):
+                if task is not None and not task.done():
+                    task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, ConnectionError
+                    ):
+                        await task
 
     # -- request handling ----------------------------------------------------
 
@@ -254,7 +297,7 @@ class ServeDaemon:
                 return
             self.metrics.counter("serve.requests").inc()
             if request.method == "GET" and request.path == "/events":
-                await self._stream_events(writer)
+                await self._stream_events(reader, writer)
                 return
             if request.method == "POST" and request.path == "/shutdown":
                 writer.write(json_response(200, {"ok": True}))
@@ -286,16 +329,16 @@ class ServeDaemon:
         if route == ("GET", "/state"):
             return 200, await self._state_payload()
         if route == ("GET", "/decisions"):
-            return 200, {
-                "decisions": [d.payload() for d in self.scheduler.decisions]
-            }
+            # Like /state: arrivals/departures mutate scheduler state on
+            # the worker thread, so live reads must serialize behind the
+            # same lock or risk iterating mid-mutation.
+            async with self._lock:
+                decisions = await self._offload(self._decisions_locked)
+            return 200, {"decisions": decisions}
         if route == ("GET", "/cluster"):
-            cluster = self.scheduler.cluster
-            return 200, {
-                "cluster": cluster.payload(),
-                "total_slots": cluster.total_slots,
-                "used_slots": cluster.used_slots,
-            }
+            async with self._lock:
+                payload = await self._offload(self._cluster_locked)
+            return 200, payload
         if route == ("GET", "/metrics"):
             return 200, self._metrics_payload()
         if route == ("POST", "/arrivals"):
@@ -338,6 +381,17 @@ class ServeDaemon:
             rates, homes, used = await self._offload(self._state_locked)
         return {"rates": rates, "homes": homes, "used_slots": used}
 
+    def _decisions_locked(self):
+        return [d.payload() for d in self.scheduler.decisions]
+
+    def _cluster_locked(self):
+        cluster = self.scheduler.cluster
+        return {
+            "cluster": cluster.payload(),
+            "total_slots": cluster.total_slots,
+            "used_slots": cluster.used_slots,
+        }
+
     def _state_locked(self):
         rates: dict[str, float] = {}
         homes: dict[str, str] = {}
@@ -362,8 +416,12 @@ class ServeDaemon:
             # The session's cache counters: a warm daemon shows zero
             # *_misses here, proving admissions never touched the engine.
             "cache": self.session.stats.snapshot(),
+            # Percentiles cover the retained window (the last
+            # _LATENCY_WINDOW admissions); serve.arrivals has the
+            # lifetime total.
             "admission_latency": {
                 "count": len(lats),
+                "window": _LATENCY_WINDOW,
                 "p50_s": percentile(lats, 0.50),
                 "p95_s": percentile(lats, 0.95),
                 "max_s": max(lats) if lats else 0.0,

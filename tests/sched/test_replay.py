@@ -48,6 +48,31 @@ class StubEvaluator:
         return tuple(1.0 + 0.5 * (len(placements) - 1) for _ in placements)
 
 
+class TestReplayFromAsyncContext:
+    def test_replay_trace_inside_running_event_loop(self):
+        # The sync API must keep working when an event loop already owns
+        # the calling thread (async caller, Jupyter) — and produce the
+        # very same report it does from plain sync code.
+        import asyncio
+
+        trace = ArrivalTrace(
+            (arrival(0.0, "a"), arrival(1.0, "b", workload="fotonik3d"))
+        )
+
+        def replay():
+            return replay_trace(
+                trace, StubEvaluator(), cluster=Cluster.homogeneous(2, SPEC)
+            )
+
+        sync_report = replay()
+
+        async def replay_from_coroutine():
+            return replay()
+
+        async_report = asyncio.run(replay_from_coroutine())
+        assert async_report == sync_report
+
+
 class TestPercentile:
     def test_interpolation(self):
         assert percentile([], 0.5) == 0.0

@@ -172,6 +172,89 @@ class TestEndpoints:
 
         with_daemon(test)
 
+    def test_shutdown_with_connected_event_stream(self):
+        # The sentinel must reach watchers *before* the daemon waits on
+        # the server: on Python >= 3.12 ``Server.wait_closed()`` blocks
+        # until the /events handler returns, and the handler only
+        # returns after the sentinel — the old order deadlocked.
+        async def test():
+            daemon = ServeDaemon(make_session(), port=0)
+            daemon.evaluator = daemon.scheduler.evaluator = StubEvaluator()
+            ports: list[int] = []
+            task = asyncio.create_task(
+                daemon.run(ready=lambda d: ports.append(d.port))
+            )
+            while not ports:
+                await asyncio.sleep(0.01)
+            client = ServeClient(daemon.host, ports[0])
+            events = []
+
+            async def watch():
+                async for ev in client.events():
+                    events.append(ev)
+
+            watcher = asyncio.create_task(watch())
+            while not events:  # hello arrived: the stream is attached
+                await asyncio.sleep(0.01)
+            assert (await client.shutdown())["ok"] is True
+            await asyncio.wait_for(task, 10)  # daemon must not hang...
+            await asyncio.wait_for(watcher, 10)  # ...and the stream ends
+            assert not daemon._watchers
+
+        asyncio.run(test())
+
+    def test_shutdown_sentinel_lands_on_full_watcher_queue(self):
+        # A backed-up watcher queue must still receive the end-of-stream
+        # sentinel (shedding old events), or its handler would hang
+        # shutdown on Python >= 3.12.
+        async def test():
+            daemon = ServeDaemon(make_session(), port=0)
+            await daemon.start()
+            stuffed: asyncio.Queue = asyncio.Queue(maxsize=2)
+            stuffed.put_nowait({"event": "decision", "payload": {}})
+            stuffed.put_nowait({"event": "decision", "payload": {}})
+            daemon._watchers.add(stuffed)
+            await asyncio.wait_for(daemon.shutdown(), 10)
+            drained = []
+            while not stuffed.empty():
+                drained.append(stuffed.get_nowait())
+            assert drained[-1] is None
+
+        asyncio.run(test())
+
+    def test_disconnected_watcher_is_reaped_without_a_publish(self):
+        # A client that hangs up is noticed via EOF on its socket, not
+        # only at the next publish — an idle daemon must not accumulate
+        # dead watcher handlers.
+        async def test(daemon, client):
+            reader, writer = await asyncio.open_connection(
+                daemon.host, daemon.port
+            )
+            writer.write(b"GET /events HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            await reader.readuntil(b"event: hello")  # stream is live
+            assert len(daemon._watchers) == 1
+            writer.close()
+            await writer.wait_closed()
+            for _ in range(200):
+                if not daemon._watchers:
+                    break
+                await asyncio.sleep(0.01)
+            assert not daemon._watchers
+
+        with_daemon(test)
+
+    def test_admission_latency_samples_are_bounded(self):
+        async def test(daemon, client):
+            assert daemon.latencies.maxlen is not None
+            await submit(client, "a")
+            metrics = await client.metrics()
+            lat = metrics["admission_latency"]
+            assert lat["count"] == 1
+            assert lat["window"] == daemon.latencies.maxlen
+
+        with_daemon(test)
+
     def test_shutdown_endpoint_stops_run_loop(self):
         async def test():
             daemon = ServeDaemon(make_session(), port=0)
