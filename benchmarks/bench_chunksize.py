@@ -1,32 +1,30 @@
-"""Executor chunk-size tuning for fine-grained scenario fan-outs.
+"""Executor chunk-size tuning + the batch-engine default for scenario
+fan-outs.
 
 The scenario redesign turned every sweep into a stream of *per-cell*
-tasks (one co-run each) instead of hand-rolled per-row batches, so the
-process pool's dispatch overhead — pickling one task tuple and one
-result per IPC round-trip — is paid per cell.  ``chunksize`` batches
-that: ``ProcessPoolExecutor.map(fn, tasks, chunksize=k)`` ships ``k``
-tasks per round-trip.
+tasks (one co-run each); a process pool pays pickling + IPC dispatch
+per cell, which ``chunksize`` amortizes — but BENCH_chunksize.json
+once recorded a 0.19x "speedup" on this very sweep: at 64 cells the
+pool's spawn cost *loses* to just computing.  Two fixes land here:
 
-This bench sweeps chunk sizes over a pairwise scenario sweep (fig8
-granularity: many small independent cells) and records the wall times,
-asserting every chunking is bit-identical to the serial sweep.
+* executors fall back to in-process execution below
+  :data:`repro.session.MIN_PARALLEL_CELLS` cells, so tiny sweeps never
+  touch a pool at all, and
+* the batch engine (``Session(engine_batch=True)``, the default) solves
+  the whole sweep as stacked numpy fixed points, which beats every
+  process-pool variant on sweeps this size without any worker.
 
-Measured on the dev container (4 workers, 64-cell sweep of 8
-workloads, Python 3.11): serial ~450 ms, chunksize 1 ~580 ms (dispatch
-overhead loses to serial at this cell cost!), chunksize 4 ~400 ms,
-chunksize 16 ~680 ms (tail imbalance: one worker holds the last big
-chunk).  The session's automatic chunk — ``len(tasks) // (workers *
-4)`` clamped to [1, 32], which picks 4 here — lands on the winning
-region without tuning, so it is the default wherever the caller does
-not pin one via ``Session(chunksize=...)`` / ``--chunksize``.  Thread
-pools ignore chunking (no pickling to amortize).
+The bench records all variants — scalar serial, batch (the default
+path), and the scalar process-pool chunkings — asserting each one is
+bit-identical to the scalar serial sweep.  The headline ``speedup`` is
+serial/batch: what the default path actually delivers.
 """
 
 import time
 
 from conftest import env_workloads
 
-from repro.session import ParallelExecutor, ScenarioSet, Session
+from repro.session import MIN_PARALLEL_CELLS, ParallelExecutor, ScenarioSet, Session
 
 WORKLOADS = env_workloads(
     ("G-CC", "G-PR", "fotonik3d", "IRSmk", "swaptions", "nab",
@@ -36,31 +34,50 @@ WORKLOADS = env_workloads(
 
 def _sweep_times(config):
     sweep = ScenarioSet.pairwise(WORKLOADS, threads=4)
-    serial_session = Session(config)
     t0 = time.perf_counter()
-    serial = serial_session.run_scenarios(sweep)
+    serial = Session(config, engine_batch=False).run_scenarios(sweep)
     serial_s = time.perf_counter() - t0
 
     timings: dict[str, float] = {"serial": serial_s}
     cells = [(r.normalized_time, tuple(r.bg_relative_rates)) for r in serial]
-    for label, chunk in (("chunk=1", 1), ("chunk=4", 4), ("auto", None), ("chunk=16", 16)):
-        session = Session(config, executor=ParallelExecutor(4), chunksize=chunk)
+
+    def timed(label, session):
         t0 = time.perf_counter()
         results = session.run_scenarios(sweep)
         timings[label] = time.perf_counter() - t0
         got = [(r.normalized_time, tuple(r.bg_relative_rates)) for r in results]
         assert got == cells, f"{label} not bit-identical to serial"
+
+    timed("batch", Session(config, engine_batch=True))
+    for label, chunk in (("chunk=1", 1), ("chunk=4", 4), ("auto", None), ("chunk=16", 16)):
+        timed(
+            f"process {label}",
+            Session(
+                config,
+                executor=ParallelExecutor(4),
+                chunksize=chunk,
+                engine_batch=False,
+            ),
+        )
     return timings, len(sweep)
 
 
 def test_chunksize_sweep(benchmark, exact_config, artifacts):
     timings, n_cells = _sweep_times(exact_config)
     lines = [f"{n_cells}-cell pairwise scenario sweep, 4 workers"]
-    lines += [f"  {label:<10} {secs * 1e3:8.1f} ms" for label, secs in timings.items()]
+    lines += [f"  {label:<16} {secs * 1e3:8.1f} ms" for label, secs in timings.items()]
     artifacts(
         "chunksize",
         "\n".join(lines),
         cells=n_cells,
         wall_seconds=timings["serial"],
-        speedup=timings["serial"] / timings["auto"],
+        speedup=timings["serial"] / timings["batch"],
+        extra={
+            "variants": {k: round(v, 6) for k, v in timings.items()},
+            "process_auto_speedup": timings["serial"] / timings["process auto"],
+            # Sweeps under this many cells skip the pool entirely —
+            # the serial fallback that retired the old 0.19x number.
+            "min_parallel_cells": MIN_PARALLEL_CELLS,
+            "default_path": "batch",
+        },
     )

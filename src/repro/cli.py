@@ -184,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: automatic from task and worker counts)",
     )
     parser.add_argument(
+        "--engine-batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="solve scenario sweeps through the stacked batch engine "
+        "(default on; --no-engine-batch restores the per-cell scalar "
+        "path — results are bit-identical; also settable via "
+        "REPRO_ENGINE_BATCH=0)",
+    )
+    parser.add_argument(
         "--llc-policy",
         choices=LLC_POLICIES,
         default=None,
@@ -1238,6 +1247,10 @@ def main(argv: list[str] | None = None) -> int:
             _telemetry_enable(Path(args.store) / "telemetry")
         try:
             config = _build_config(args)
+            if args.engine_batch is not None:
+                # Exported so campaign / pool workers building their own
+                # sessions resolve the same batch-vs-scalar choice.
+                os.environ["REPRO_ENGINE_BATCH"] = "1" if args.engine_batch else "0"
             if args.experiment == "store":
                 return _store_command(args, config)
             if args.experiment == "campaign":
@@ -1247,6 +1260,7 @@ def main(argv: list[str] | None = None) -> int:
                 executor=_resolve_executor_arg(args),
                 store=args.store,
                 chunksize=args.chunksize,
+                engine_batch=args.engine_batch,
             )
             if args.experiment == "run-all":
                 return _run_all(args, session)

@@ -2,6 +2,7 @@
 methodology as a predictive model)."""
 
 from repro.engine.bandwidth import BusState, resolve_bus
+from repro.engine.batch import MAX_BATCH_SLOTS, BatchCell, solve_batch
 from repro.engine.interval import (
     PREFETCH_COVERAGE,
     PREFETCH_HIDE,
@@ -23,10 +24,12 @@ from repro.engine.results import (
 __all__ = [
     "AppMetrics",
     "BandwidthSample",
+    "BatchCell",
     "BusState",
     "CoRunResult",
     "EngineConfig",
     "IntervalEngine",
+    "MAX_BATCH_SLOTS",
     "MIN_SHARE_FRACTION",
     "PREFETCH_COVERAGE",
     "PREFETCH_HIDE",
@@ -37,4 +40,5 @@ __all__ = [
     "SoloRunResult",
     "allocate_llc",
     "resolve_bus",
+    "solve_batch",
 ]

@@ -682,6 +682,14 @@ class IntervalEngine:
             timeline=timeline,
         )
 
+    def solve_batch(self, cells) -> "list[ScenarioRunResult]":
+        """Solve many scenarios at once (see :mod:`repro.engine.batch`):
+        one numpy fixed point advances every cell simultaneously, with
+        results bit-identical to per-cell :meth:`scenario_run` calls."""
+        from repro.engine.batch import solve_batch
+
+        return solve_batch(self, cells)
+
     def co_run(
         self,
         fg: WorkloadProfile,

@@ -96,14 +96,12 @@ class LocalPort(SchedulerPort):
     async def state(self) -> "tuple[dict[str, float], dict[str, str], int]":
         rates: dict[str, float] = {}
         homes: dict[str, str] = {}
-        for m in self.scheduler.cluster:
-            ids = tuple(m.tenants)
-            if not ids:
-                continue
-            slowdowns = self.scheduler.evaluator.slowdowns(
-                m.spec, m.placements()
-            )
-            for tid, s in zip(ids, slowdowns):
+        occupied = [m for m in self.scheduler.cluster if m.tenants]
+        all_slowdowns = self.scheduler.evaluator.slowdowns_many(
+            [(m.spec, m.placements()) for m in occupied]
+        )
+        for m, slowdowns in zip(occupied, all_slowdowns):
+            for tid, s in zip(tuple(m.tenants), slowdowns):
                 rates[tid] = s
                 homes[tid] = m.name
         return rates, homes, self.scheduler.cluster.used_slots

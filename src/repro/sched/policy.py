@@ -448,9 +448,16 @@ class InterferencePolicy(PlacementPolicy):
         if not candidates:
             return _reject(self.name, tenant, time_s, 0, "no-capacity"), None
         scored: list[tuple[tuple[float, float], int, Candidate, tuple[float, ...]]] = []
-        for i, cand in enumerate(candidates):
-            spec = cluster.machine(cand.machine).spec
-            slowdowns = evaluator.slowdowns(spec, cand.placements)
+        # One batched evaluation across the whole candidate set: the
+        # rotations of every layout feed a single scenario fan-out per
+        # machine spec (the serve daemon's cold-admission hot path).
+        all_slowdowns = evaluator.slowdowns_many(
+            [
+                (cluster.machine(cand.machine).spec, cand.placements)
+                for cand in candidates
+            ]
+        )
+        for i, (cand, slowdowns) in enumerate(zip(candidates, all_slowdowns)):
             if any(s >= slo for s in slowdowns):
                 continue
             score = (max(slowdowns), sum(slowdowns) / len(slowdowns))

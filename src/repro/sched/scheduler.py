@@ -201,9 +201,12 @@ class Scheduler:
             return False
         before = self._score(machine)
         current = self._rank(before)
+        layout_slowdowns = self.evaluator.slowdowns_many(
+            [(machine.spec, lay.placements) for lay in layouts]
+        )
         scored = [
-            (self._rank(self.evaluator.slowdowns(machine.spec, lay.placements)), i, lay)
-            for i, lay in enumerate(layouts)
+            (self._rank(sd), i, lay)
+            for i, (lay, sd) in enumerate(zip(layouts, layout_slowdowns))
         ]
         best_rank, _, best = min(scored, key=lambda row: (row[0], row[1]))
         if best_rank >= current:
@@ -241,13 +244,15 @@ class Scheduler:
         worst_i = max(range(len(before)), key=lambda i: before[i])
         mover = residents[worst_i]
         scored = []
-        for i, cand in enumerate(
-            enumerate_candidates(self.cluster, mover.unpartitioned())
-        ):
-            if cand.machine == machine.name:
-                continue
-            spec = self.cluster.machine(cand.machine).spec
-            slowdowns = self.evaluator.slowdowns(spec, cand.placements)
+        away = [
+            cand
+            for cand in enumerate_candidates(self.cluster, mover.unpartitioned())
+            if cand.machine != machine.name
+        ]
+        away_slowdowns = self.evaluator.slowdowns_many(
+            [(self.cluster.machine(cand.machine).spec, cand.placements) for cand in away]
+        )
+        for i, (cand, slowdowns) in enumerate(zip(away, away_slowdowns)):
             if any(s >= self.slo for s in slowdowns):
                 continue
             if slowdowns[-1] >= before[worst_i]:

@@ -395,14 +395,12 @@ class ServeDaemon:
     def _state_locked(self):
         rates: dict[str, float] = {}
         homes: dict[str, str] = {}
-        for machine in self.scheduler.cluster:
-            ids = tuple(machine.tenants)
-            if not ids:
-                continue
-            slowdowns = self.evaluator.slowdowns(
-                machine.spec, machine.placements()
-            )
-            for tid, s in zip(ids, slowdowns):
+        occupied = [m for m in self.scheduler.cluster if m.tenants]
+        all_slowdowns = self.evaluator.slowdowns_many(
+            [(m.spec, m.placements()) for m in occupied]
+        )
+        for machine, slowdowns in zip(occupied, all_slowdowns):
+            for tid, s in zip(tuple(machine.tenants), slowdowns):
                 rates[tid] = s
                 homes[tid] = machine.name
         return rates, homes, self.scheduler.cluster.used_slots

@@ -15,6 +15,7 @@ structured :class:`RunRecord`::
 
 from repro.session.base import Runner, fingerprint, jsonify
 from repro.session.executors import (
+    MIN_PARALLEL_CELLS,
     Executor,
     ParallelExecutor,
     SerialExecutor,
@@ -38,6 +39,7 @@ __all__ = [
     "AppPlacement",
     "CacheStats",
     "Executor",
+    "MIN_PARALLEL_CELLS",
     "ParallelExecutor",
     "RunRecord",
     "Runner",

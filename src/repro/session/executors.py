@@ -32,6 +32,12 @@ from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkabl
 
 from repro.errors import ExperimentError
 
+#: Fan-outs below this many cells run in-process even on parallel
+#: executors: pool spawn + pickling overhead loses to just computing
+#: tiny sweeps (BENCH_chunksize.json recorded a 0.19x "speedup" before
+#: this fallback existed).
+MIN_PARALLEL_CELLS = 16
+
 
 @runtime_checkable
 class Executor(Protocol):
@@ -53,6 +59,19 @@ class Executor(Protocol):
         """
         ...
 
+    def map_batches(
+        self, fn: Callable[[Any], Any], batches: Iterable[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every *batch* of tasks, preserving order.
+
+        A batch is a sized collection of cells solved together (the
+        batch engine's shard unit); ``len(batch)`` counts its cells.
+        Parallel backends dispatch one batch per worker round-trip and
+        fall back to in-process execution when the total cell count is
+        below :data:`MIN_PARALLEL_CELLS`.
+        """
+        ...
+
 
 class SerialExecutor:
     """In-process, in-order execution (the default)."""
@@ -64,6 +83,11 @@ class SerialExecutor:
         self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
     ) -> list[Any]:
         return [fn(t) for t in tasks]
+
+    def map_batches(
+        self, fn: Callable[[Any], Any], batches: Iterable[Any]
+    ) -> list[Any]:
+        return [fn(b) for b in batches]
 
 
 class ParallelExecutor:
@@ -91,7 +115,9 @@ class ParallelExecutor:
         self, fn: Callable[[Any], Any], tasks: Iterable[Any], *, chunksize: int = 1
     ) -> list[Any]:
         items: Sequence[Any] = list(tasks)
-        if len(items) <= 1:
+        if len(items) < MIN_PARALLEL_CELLS:
+            # Tiny sweeps never amortize process spawn + pickling
+            # (BENCH_chunksize's 0.19x regression); run them inline.
             return [fn(t) for t in items]
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
@@ -101,6 +127,23 @@ class ParallelExecutor:
             # library error instead of the pool's opaque internal one.
             raise ExperimentError(
                 f"a worker process died during a {len(items)}-task sweep "
+                "(out of memory or killed); retry with fewer --workers or "
+                "--executor thread"
+            ) from exc
+
+    def map_batches(
+        self, fn: Callable[[Any], Any], batches: Iterable[Any]
+    ) -> list[Any]:
+        items: Sequence[Any] = list(batches)
+        cells = sum(len(b) for b in items)
+        if len(items) <= 1 or cells < MIN_PARALLEL_CELLS:
+            return [fn(b) for b in items]
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items, chunksize=1))
+        except BrokenProcessPool as exc:
+            raise ExperimentError(
+                f"a worker process died during a {cells}-cell batched sweep "
                 "(out of memory or killed); retry with fewer --workers or "
                 "--executor thread"
             ) from exc
@@ -135,6 +178,15 @@ class ThreadExecutor:
         items: Sequence[Any] = list(tasks)
         if len(items) <= 1:
             return [fn(t) for t in items]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_batches(
+        self, fn: Callable[[Any], Any], batches: Iterable[Any]
+    ) -> list[Any]:
+        items: Sequence[Any] = list(batches)
+        if len(items) <= 1 or sum(len(b) for b in items) < MIN_PARALLEL_CELLS:
+            return [fn(b) for b in items]
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items))
 

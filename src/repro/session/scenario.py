@@ -586,6 +586,55 @@ def run_scenario_task(task: _ScenarioTask) -> ScenarioRunResult:
     )
 
 
+@dataclass(frozen=True)
+class _ScenarioBatchTask:
+    """One engine-compatible shard of scenarios shipped to a batch
+    solve (picklable; every task shares one engine fingerprint, so the
+    worker rebuilds a single engine for the whole shard).
+
+    ``len()`` counts cells so executors can size their serial-fallback
+    decision without knowing the payload shape.
+    """
+
+    config: ExperimentConfig
+    tasks: tuple[_ScenarioTask, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def _task_cell(task: _ScenarioTask) -> "BatchCell":
+    """A scenario task in the batch engine's cell vocabulary."""
+    from repro.engine import BatchCell
+
+    s = task.scenario
+    ways = scenario_way_masks(s)
+    pins = scenario_pinnings(s)
+    return BatchCell(
+        profiles=tuple(p.resolve_profile() for p in s.placements),
+        threads=tuple(p.threads for p in s.placements),
+        fg_solo_runtime_s=task.fg_solo_runtime_s,
+        bg_solo_rates=tuple(task.bg_solo_rates),
+        llc_ways=tuple(ways) if ways is not None else None,
+        pinnings=tuple(pins) if pins is not None else None,
+    )
+
+
+def run_scenario_batch_task(batch: _ScenarioBatchTask) -> list[ScenarioRunResult]:
+    """Solve one engine-compatible shard through the batch engine.
+
+    Runs in-process or inside pool workers; all tasks in the shard
+    resolve to the same (spec, engine config) pair by construction, so
+    one engine serves every cell.  Results are bit-identical to the
+    scalar per-cell path (``solve_batch``'s contract).
+    """
+    from repro.engine import solve_batch
+
+    spec, cfg = scenario_engine_parts(batch.config, batch.tasks[0].scenario)
+    engine = IntervalEngine(spec=spec, config=cfg)
+    return solve_batch(engine, [_task_cell(t) for t in batch.tasks])
+
+
 def scenario_way_masks(scenario: Scenario) -> "list[int | None] | None":
     """Per-placement way masks for the engine (``None`` when unused)."""
     if not scenario.partitioned:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import inspect
 import logging
+import os
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Iterable
@@ -59,7 +60,9 @@ from repro.session.registry import get_runner, runner_names
 from repro.session.scenario import (
     Scenario,
     ScenarioResult,
+    _ScenarioBatchTask,
     _ScenarioTask,
+    run_scenario_batch_task,
     run_scenario_task,
     scenario_engine_parts,
     scenario_pinnings,
@@ -165,6 +168,7 @@ class Session:
         executor: Executor | str | None = None,
         store: "Any | None" = None,
         chunksize: int | None = None,
+        engine_batch: bool | None = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig()
         self.executor = resolve_executor(executor)
@@ -173,6 +177,14 @@ class Session:
         #: automatic chunk from the task and worker counts (see
         #: :meth:`run_scenarios`).
         self.chunksize = chunksize
+        if engine_batch is None:
+            engine_batch = os.environ.get("REPRO_ENGINE_BATCH", "1") != "0"
+        #: Solve cache-missing scenario fan-outs through the stacked
+        #: batch engine (:func:`repro.engine.solve_batch`) instead of
+        #: one scalar solve per cell.  Defaults on; the
+        #: ``REPRO_ENGINE_BATCH=0`` escape hatch restores the scalar
+        #: path (results are bit-identical either way).
+        self.engine_batch = bool(engine_batch)
         #: Every RunRecord produced by this session, in execution order.
         self.records: list[RunRecord] = []
         #: Optional persistent ResultStore: solo/co-run lookups read
@@ -180,6 +192,13 @@ class Session:
         #: executed artifact's record is streamed into it.
         self.store = _resolve_store(store)
         self._engines: dict[str, IntervalEngine] = {}
+        # Engine fingerprints memoized by config/spec object identity:
+        # hashing a full MachineSpec asdict per lookup dominates sweep
+        # planning otherwise.  Values keep strong references to the
+        # keyed objects so ids can never be recycled underneath us
+        # (configs are value objects — derivation goes through
+        # dataclasses.replace, never in-place mutation).
+        self._engine_fps: dict[tuple[int, int], tuple[str, Any, Any]] = {}
         self._solos: dict[tuple[str, str, int], SoloRunResult] = {}
         self._coruns: dict[tuple[str, str, str, int, int], CoRunResult] = {}
         #: N-way scenario cache keyed by (engine_fp, scenario fingerprint);
@@ -208,7 +227,14 @@ class Session:
         spec: MachineSpec | None = None,
     ) -> str:
         cfg = engine_config if engine_config is not None else self.config.engine_config
-        return fingerprint(spec if spec is not None else self.spec, cfg)
+        sp = spec if spec is not None else self.spec
+        key = (id(cfg), id(sp))
+        hit = self._engine_fps.get(key)
+        if hit is not None:
+            return hit[0]
+        fp = fingerprint(sp, cfg)
+        self._engine_fps[key] = (fp, cfg, sp)
+        return fp
 
     def engine(
         self,
@@ -648,9 +674,10 @@ class Session:
         self, scens: "list[Scenario]", chunksize: int | None
     ) -> list[ScenarioResult]:
         direct: dict[int, ScenarioRunResult] = {}
-        if self.executor.parallel and len(scens) > 1:
+        if (self.engine_batch or self.executor.parallel) and len(scens) > 1:
             tasks: list[_ScenarioTask] = []
             task_idx: list[int] = []
+            task_fps: list[str] = []
             seen: set[tuple[str, str]] = set()
             for i, s in enumerate(scens):
                 engine_fp, engine_config, spec, canon = self._scenario_parts(s)
@@ -662,15 +689,19 @@ class Session:
                 fg_runtime, rates = self._scenario_solo_refs(s, engine_config, spec)
                 tasks.append(_ScenarioTask(self.config, s, fg_runtime, rates))
                 task_idx.append(i)
+                task_fps.append(engine_fp)
             if tasks:
-                if chunksize is None:
-                    chunksize = self.chunksize
-                if chunksize is None:
-                    workers = getattr(self.executor, "max_workers", 1)
-                    chunksize = max(1, min(32, len(tasks) // (workers * 4) or 1))
-                results = self.executor.map(
-                    run_scenario_task, tasks, chunksize=chunksize
-                )
+                if self.engine_batch:
+                    results = self._solve_tasks_batched(tasks, task_fps)
+                else:
+                    if chunksize is None:
+                        chunksize = self.chunksize
+                    if chunksize is None:
+                        workers = getattr(self.executor, "max_workers", 1)
+                        chunksize = max(1, min(32, len(tasks) // (workers * 4) or 1))
+                    results = self.executor.map(
+                        run_scenario_task, tasks, chunksize=chunksize
+                    )
                 for i, res in zip(task_idx, results):
                     if scens[i].cacheable:
                         self.store_scenario_result(scens[i], res)
@@ -680,6 +711,40 @@ class Session:
             ScenarioResult(s, direct[i]) if i in direct else self.run_scenario(s)
             for i, s in enumerate(scens)
         ]
+
+    def _solve_tasks_batched(
+        self, tasks: "list[_ScenarioTask]", task_fps: "list[str]"
+    ) -> "list[ScenarioRunResult]":
+        """Solve planned scenario tasks through the batch engine.
+
+        Tasks partition into engine-compatible groups (same engine
+        fingerprint = same spec + engine config), each group shards
+        across the executor's workers, and every shard is one
+        :func:`repro.engine.solve_batch` call — one stacked fixed point
+        instead of ``len(tasks)`` scalar solves.  Results come back in
+        task order and are bit-identical to the scalar path.
+        """
+        groups: dict[str, list[int]] = {}
+        for j, fp in enumerate(task_fps):
+            groups.setdefault(fp, []).append(j)
+        workers = int(getattr(self.executor, "max_workers", 1) or 1)
+        n_shards = workers if self.executor.parallel else 1
+        shards: list[_ScenarioBatchTask] = []
+        shard_idx: list[list[int]] = []
+        for idxs in groups.values():
+            per = max(1, -(-len(idxs) // n_shards))
+            for a in range(0, len(idxs), per):
+                part = idxs[a : a + per]
+                shards.append(
+                    _ScenarioBatchTask(self.config, tuple(tasks[j] for j in part))
+                )
+                shard_idx.append(part)
+        outs = self.executor.map_batches(run_scenario_batch_task, shards)
+        results: "list[ScenarioRunResult | None]" = [None] * len(tasks)
+        for part, out in zip(shard_idx, outs):
+            for j, res in zip(part, out):
+                results[j] = res
+        return results  # type: ignore[return-value]
 
     # -- measurement jitter -------------------------------------------------
 

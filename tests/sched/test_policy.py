@@ -37,6 +37,9 @@ class StubEvaluator:
         self.calls.append(placements)
         return tuple(self.rule(p) for p in placements)
 
+    def slowdowns_many(self, items):
+        return [self.slowdowns(spec, placements) for spec, placements in items]
+
 
 class TestEnumeration:
     def test_empty_machine_yields_only_shared(self):

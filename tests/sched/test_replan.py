@@ -39,7 +39,12 @@ def tenant(tid, workload="G-CC", threads=2) -> Tenant:
     return Tenant(tenant=tid, workload=workload, threads=threads, solo_s=5.0)
 
 
-class SharedHurtsEvaluator:
+class _StubEvaluatorBase:
+    def slowdowns_many(self, items):
+        return [self.slowdowns(spec, placements) for spec, placements in items]
+
+
+class SharedHurtsEvaluator(_StubEvaluatorBase):
     """Unpartitioned co-residents hurt badly; any full CAT partition
     caps everyone at 1.3x — so re-partitioning is always the cleaner
     layout once somebody leaves."""
@@ -52,7 +57,7 @@ class SharedHurtsEvaluator:
         return tuple(1.0 + 0.8 * (len(placements) - 1) for _ in placements)
 
 
-class PartitionBlindEvaluator:
+class PartitionBlindEvaluator(_StubEvaluatorBase):
     """Partitioning never helps (cat ranks equal to shared), so the
     only relief for an over-SLO resident is migrating it away."""
 

@@ -47,6 +47,9 @@ class StubEvaluator:
             return (1.0,) * len(placements)
         return tuple(1.0 + 0.5 * (len(placements) - 1) for _ in placements)
 
+    def slowdowns_many(self, items):
+        return [self.slowdowns(spec, placements) for spec, placements in items]
+
 
 class TestReplayFromAsyncContext:
     def test_replay_trace_inside_running_event_loop(self):

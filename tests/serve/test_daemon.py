@@ -36,6 +36,9 @@ class StubEvaluator:
             return (1.0,) * len(placements)
         return tuple(1.0 + 0.2 * (len(placements) - 1) for _ in placements)
 
+    def slowdowns_many(self, items):
+        return [self.slowdowns(spec, placements) for spec, placements in items]
+
 
 def with_daemon(test, *, session=None, evaluator=StubEvaluator(), **kw):
     """Run ``await test(daemon, client)`` against a started daemon on an
