@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Doc-vs-CLI drift check: every ``--flag`` the prose shows must exist.
+
+Walks the fenced code blocks of README.md and docs/*.md, keeps the
+lines that invoke the repro CLI (``repro ...`` / ``python -m repro.cli
+...``), extracts their ``--flag`` tokens, and validates each against
+the live argparse surface (:func:`repro.cli.build_parser` option
+strings).  Lines invoking anything else — pytest, pip, plain python —
+are skipped: their flags belong to other tools.
+
+Exit 0 when the docs are clean; exit 1 listing every stale flag with
+its file and line.  CI runs this in the lint job, and
+``tests/test_check_docs.py`` keeps the checker itself honest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A line is a repro-CLI invocation if it mentions one of these.
+_CLI_MARKERS = ("python -m repro.cli", "repro ")
+
+#: ``--flag`` tokens; '=' and trailing punctuation terminate the name.
+_FLAG_RE = re.compile(r"(?<![\w-])(--[A-Za-z][\w-]*)")
+
+#: Lines that *look* like CLI calls but drive other tools.
+_SKIP_RE = re.compile(r"\b(pytest|pip|ruff)\b")
+
+
+def doc_files(root: Path = REPO_ROOT) -> "list[Path]":
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    return [root / "README.md", *docs]
+
+
+def iter_cli_lines(text: str):
+    """Yield ``(lineno, line)`` for repro-CLI lines inside fenced blocks."""
+    fenced = False
+    continuation = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continuation = False
+            continue
+        if not fenced:
+            continue
+        stripped = line.strip()
+        is_cli = any(m in stripped for m in _CLI_MARKERS) and not _SKIP_RE.search(
+            stripped
+        )
+        if is_cli or (continuation and stripped.startswith("--")):
+            yield lineno, stripped
+        # Backslash continuations carry the invocation onto the next line.
+        continuation = (is_cli or continuation) and stripped.endswith("\\")
+
+
+def documented_flags(paths: "list[Path]") -> "list[tuple[Path, int, str]]":
+    found = []
+    for path in paths:
+        for lineno, line in iter_cli_lines(path.read_text()):
+            for flag in _FLAG_RE.findall(line):
+                found.append((path, lineno, flag))
+    return found
+
+
+def known_flags() -> "set[str]":
+    from repro.cli import build_parser
+
+    return {
+        opt
+        for action in build_parser()._actions
+        for opt in action.option_strings
+    }
+
+
+def main() -> int:
+    known = known_flags()
+    flags = documented_flags(doc_files())
+    if not flags:
+        print("check_docs: no repro-CLI flags found in the docs", file=sys.stderr)
+        return 1
+    stale = [(p, n, f) for p, n, f in flags if f not in known]
+    if stale:
+        for path, lineno, flag in stale:
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: unknown CLI flag {flag}", file=sys.stderr)
+        print(
+            f"check_docs: {len(stale)} stale flag reference(s) "
+            f"out of {len(flags)} checked",
+            file=sys.stderr,
+        )
+        return 1
+    files = len({p for p, _, _ in flags})
+    print(f"check_docs OK: {len(flags)} flag reference(s) across {files} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())

@@ -29,6 +29,10 @@ Usage::
     repro serve submit G-CC:4 t000 --port 7453   # one live admission
     repro serve drain --trace seed:0:10:2:0.5 --port 7453 --json
     repro serve metrics --port 7453; repro serve stop --port 7453
+    repro traffic gen --seed 0 --out day.json    # a seeded diurnal day
+    repro traffic stats --trace diurnal:0 --json # per-hour arrival shape
+    repro --store .repro-store traffic-replay --rate 8 --replan
+    repro --store .repro-store sched replay --traffic model.json
     repro --store .repro-store store ls --json   # scripted consumption
     repro --store .repro-store store stats       # per-artifact run/cache stats
     repro --store .repro-store campaign --workers 2 --telemetry  # record spans
@@ -86,7 +90,7 @@ from repro.workloads.calibration import APPLICATIONS, MINI_BENCHMARKS
 #: runs the default scenario, `repro scenario run ...` the subcommand).
 _COMMANDS = (
     "list", "run-all", "campaign", "store", "scenario", "sched", "trace",
-    "serve",
+    "serve", "traffic",
 )
 
 #: Shipped placement policies (mirrors repro.sched.policy.POLICIES;
@@ -102,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-interference",
         description="Regenerate figures/tables of the interference characterization paper.",
+        epilog=(
+            "Trace / traffic spec grammar for 'sched replay', 'serve drain' "
+            "and 'traffic' (--trace seed:S:N[:T[:D]] | diurnal:S[:H[:T]] | "
+            "FILE; --traffic MODEL.json): see docs/trace-format.md. "
+            "Subsystem map: docs/architecture.md."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -115,8 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
         "diff <manifest-A> <manifest-B> | stats), 'scenario' "
         "(run <app[:threads]> ... | ls), 'sched' "
         "(replay | decide <app[:threads]>), 'trace' "
-        "(show | export | summary) and 'serve' "
-        "(start | submit <app[:threads]> [id] | drain | stop | metrics)",
+        "(show | export | summary), 'serve' "
+        "(start | submit <app[:threads]> [id] | drain | stop | metrics) "
+        "and 'traffic' (gen | show | stats)",
     )
     parser.add_argument(
         "-v",
@@ -246,9 +257,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="SPEC",
         default=None,
-        help="for 'sched replay': arrival trace — seed:S:N[:T] (synthetic, "
-        "seed S, N arrivals of T threads) or a trace JSON file path "
-        "(default: a 10-arrival trace seeded from --seed)",
+        help="for 'sched replay' / 'serve drain' / 'traffic show|stats': "
+        "arrival trace — seed:S:N[:T[:D]] (synthetic), diurnal:S[:H[:T]] "
+        "(an open-loop diurnal day) or a trace JSON file path "
+        "(default: a 10-arrival trace seeded from --seed); grammar in "
+        "docs/trace-format.md",
+    )
+    parser.add_argument(
+        "--traffic",
+        metavar="MODEL",
+        default=None,
+        help="for 'traffic', 'traffic-replay', 'sched replay' and 'serve "
+        "drain': generate the arrival trace from a traffic-model JSON "
+        "file (curve + mix + rate; schema in docs/trace-format.md); "
+        "mutually exclusive with --trace",
+    )
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        help="for 'traffic' / 'traffic-replay': trace hours to generate "
+        "(default 24, one full day)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="for 'traffic' / 'traffic-replay': time scale factor — trace "
+        "minutes per simulated minute (default 60: a 24h day in 1440 "
+        "simulated seconds)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="for 'traffic' / 'traffic-replay': arrivals per trace hour at "
+        "the diurnal peak (default 6)",
     )
     parser.add_argument(
         "--policy",
@@ -330,7 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         default=None,
-        help="for 'trace export': write to PATH instead of stdout",
+        help="for 'trace export' / 'traffic gen': write to PATH instead "
+        "of stdout",
     )
     parser.add_argument(
         "--limit",
@@ -341,8 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable JSON output for 'sched', 'store ls', "
-        "'store stats', 'scenario ls' and 'trace show/summary'",
+        help="machine-readable JSON output for 'sched', 'serve', 'traffic', "
+        "'traffic-replay', 'store ls', 'store stats', 'scenario ls' and "
+        "'trace show/summary'",
     )
     return parser
 
@@ -358,7 +404,8 @@ def _list_text() -> str:
         "scenario run [--ways NAME:BITMAP ...] [--pin NAME:CORES ...] / ls, "
         "sched replay [--trace seed:S:N] [--policy P ...] / decide APP[:T], "
         "trace show/export/summary (spans recorded with --telemetry), "
-        "serve start/submit/drain/stop/metrics (the scheduler daemon)"
+        "serve start/submit/drain/stop/metrics (the scheduler daemon), "
+        "traffic gen/show/stats [--traffic MODEL] (diurnal open-loop days)"
     )
     lines.append("applications: " + ", ".join(APPLICATIONS))
     lines.append("mini-benchmarks: " + ", ".join(MINI_BENCHMARKS))
@@ -632,6 +679,147 @@ def _scenario_command(args: argparse.Namespace, session: Session) -> int:
     return 2
 
 
+def _traffic_trace(args: argparse.Namespace, session: Session):
+    """Resolve the arrival trace shared by the traffic-aware commands:
+    ``--traffic MODEL.json`` (generated; the file's own ``seed`` /
+    ``hours`` keys are honored unless ``--hours`` overrides), ``--trace
+    SPEC`` (incl. the ``diurnal:`` form), or a default diurnal day from
+    the session roster and the ``--seed/--hours/--scale/--rate`` knobs."""
+    from repro.sched.trace import parse_trace
+    from repro.traffic import (
+        DiurnalCurve,
+        TrafficModel,
+        WorkloadMix,
+        generate_from_file,
+    )
+    from repro.traffic.model import DEFAULT_RATE_PER_HOUR
+
+    if args.traffic is not None:
+        return generate_from_file(args.traffic, hours=args.hours)
+    if args.trace is not None:
+        return parse_trace(args.trace, session.config.workloads)
+    model = TrafficModel(
+        mix=WorkloadMix.uniform(session.config.workloads),
+        curve=DiurnalCurve.business_hours(
+            args.scale if args.scale is not None else 60.0
+        ),
+        rate_per_hour=(
+            args.rate if args.rate is not None else DEFAULT_RATE_PER_HOUR
+        ),
+    )
+    return model.generate(
+        seed=args.seed,
+        hours=args.hours if args.hours is not None else 24.0,
+    )
+
+
+def _traffic_command(args: argparse.Namespace, session: Session) -> int:
+    """``repro traffic gen [--out P] / show / stats`` — generate and
+    inspect open-loop diurnal arrival traces without replaying them."""
+    from repro.core.report import ascii_table
+    from repro.traffic import trace_stats
+
+    sub = args.subargs[0] if args.subargs else "show"
+    if len(args.subargs) > 1:
+        print(
+            f"error: unexpected argument(s): {' '.join(args.subargs[1:])}",
+            file=sys.stderr,
+        )
+        return 2
+    if sub not in ("gen", "show", "stats"):
+        print(
+            f"error: unknown traffic subcommand {sub!r}; use gen, show "
+            "or stats",
+            file=sys.stderr,
+        )
+        return 2
+    trace = _traffic_trace(args, session)
+    if sub == "gen":
+        if args.out is not None:
+            trace.to_json(args.out)
+            print(
+                f"wrote {len(trace.arrivals)} arrival(s) / "
+                f"{len(trace) - len(trace.arrivals)} departure(s) to "
+                f"{args.out} (trace {trace.fingerprint})"
+            )
+        else:
+            print(json.dumps(trace.payload(), indent=None if args.json else 1))
+        return 0
+    if sub == "show":
+        if args.json:
+            print(json.dumps(trace.payload(), sort_keys=True))
+            return 0
+        rows = [
+            [
+                f"{e.time_s:.3f}",
+                e.kind,
+                e.tenant,
+                e.workload or "-",
+                e.threads or "-",
+                f"{e.solo_s:.3f}" if e.kind == "arrival" else "-",
+                e.hint or "-",
+            ]
+            for e in trace
+        ]
+        print(
+            ascii_table(
+                ["time_s", "kind", "tenant", "workload", "threads", "solo_s", "hint"],
+                rows,
+                title=(
+                    f"{len(trace.arrivals)} arrival(s), "
+                    f"{len(trace) - len(trace.arrivals)} departure(s) "
+                    f"(trace {trace.fingerprint})"
+                ),
+            ),
+            end="",
+        )
+        return 0
+    bucket_s = 3600.0 / (args.scale if args.scale is not None else 60.0)
+    stats = trace_stats(trace, bucket_s=bucket_s)
+    if args.json:
+        print(json.dumps(stats.payload(), sort_keys=True))
+    else:
+        print(stats.render(), end="")
+    return 0
+
+
+def _traffic_replay_command(args: argparse.Namespace, session: Session) -> int:
+    """``repro traffic-replay`` invoked directly: route the traffic
+    knobs into the registered runner (campaigns run its defaults)."""
+    kwargs: dict = {}
+    if args.traffic is not None:
+        kwargs["traffic"] = args.traffic
+    if args.hours is not None:
+        kwargs["hours"] = args.hours
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.rate is not None:
+        kwargs["rate"] = args.rate
+    if args.policy:
+        kwargs["policies"] = tuple(args.policy)
+    if args.machines is not None:
+        kwargs["machines"] = args.machines
+    if args.slo is not None:
+        kwargs["slo"] = args.slo
+    if args.replan:
+        kwargs["replan"] = True
+    record = session.run("traffic-replay", **kwargs)
+    runner = get_runner("traffic-replay")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "replay": runner.encode(record.result),
+                    "cache": record.provenance["cache"],
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(runner.render(record.result), end="")
+    return 0
+
+
 def _sched_command(args: argparse.Namespace, session: Session) -> int:
     """``repro sched replay [--trace ... --policy ...]`` /
     ``repro sched decide <app[:threads]> [--cluster FILE]``."""
@@ -650,6 +838,10 @@ def _sched_command(args: argparse.Namespace, session: Session) -> int:
         kwargs: dict = {}
         if args.trace is not None:
             kwargs["trace"] = args.trace
+        elif args.traffic is not None:
+            from repro.traffic import generate_from_file
+
+            kwargs["trace"] = generate_from_file(args.traffic, hours=args.hours)
         if args.policy:
             kwargs["policies"] = tuple(args.policy)
         if args.machines is not None:
@@ -841,6 +1033,10 @@ def _serve_command(args: argparse.Namespace, session: Session) -> int:
 
         if args.trace is not None:
             trace = parse_trace(args.trace, session.config.workloads)
+        elif args.traffic is not None:
+            from repro.traffic import generate_from_file
+
+            trace = generate_from_file(args.traffic, hours=args.hours)
         else:
             trace = ArrivalTrace.synthetic(
                 session.config.workloads, seed=session.config.seed
@@ -1133,7 +1329,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_text())
         return 0
     if (
-        args.experiment not in ("store", "scenario", "sched", "trace", "serve")
+        args.experiment
+        not in ("store", "scenario", "sched", "trace", "serve", "traffic")
         and args.subargs
     ):
         print(
@@ -1141,17 +1338,54 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.experiment not in ("sched", "serve") and (
+    if args.experiment not in ("sched", "serve", "traffic") and (
         args.trace is not None
-        or args.policy
-        or args.machines is not None
-        or args.slo is not None
-        or args.cluster is not None
     ):
         print(
-            "error: --trace/--policy/--machines/--slo/--cluster only apply "
-            "to 'sched' and 'serve' (the sched-replay artifact runs its "
-            "seeded default)",
+            "error: --trace only applies to 'sched', 'serve' and 'traffic' "
+            "(the replay artifacts run their seeded defaults)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment not in ("sched", "serve", "traffic-replay") and (
+        args.policy
+        or args.machines is not None
+        or args.slo is not None
+    ):
+        print(
+            "error: --policy/--machines/--slo only apply to 'sched', "
+            "'serve' and 'traffic-replay'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cluster is not None and args.experiment not in ("sched", "serve"):
+        print(
+            "error: --cluster only applies to 'sched' and 'serve'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment not in ("sched", "serve", "traffic", "traffic-replay") and (
+        args.traffic is not None
+    ):
+        print(
+            "error: --traffic only applies to 'sched replay', 'serve drain', "
+            "'traffic' and 'traffic-replay'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace is not None and args.traffic is not None:
+        print(
+            "error: --trace and --traffic are mutually exclusive "
+            "(one arrival stream per replay)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment not in ("traffic", "traffic-replay") and (
+        args.hours is not None or args.scale is not None or args.rate is not None
+    ):
+        print(
+            "error: --hours/--scale/--rate only apply to 'traffic' and "
+            "'traffic-replay' (a --traffic model file carries its own knobs)",
             file=sys.stderr,
         )
         return 2
@@ -1168,15 +1402,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.replan and args.experiment != "sched":
+    if args.replan and args.experiment not in ("sched", "traffic-replay"):
         print(
-            "error: --replan only applies to 'sched replay' (the serve "
-            "daemon re-plans by default; disable with --no-replan)",
+            "error: --replan only applies to 'sched replay' and "
+            "'traffic-replay' (the serve daemon re-plans by default; "
+            "disable with --no-replan)",
             file=sys.stderr,
         )
         return 2
     json_ok = (
-        args.experiment in ("sched", "serve")
+        args.experiment in ("sched", "serve", "traffic", "traffic-replay")
         or (
             args.experiment == "store"
             and (not args.subargs or args.subargs[0] in ("ls", "stats"))
@@ -1189,17 +1424,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.json and not json_ok:
         print(
-            "error: --json only applies to 'sched', 'serve', "
-            "'store ls/stats', 'scenario ls' and 'trace show/summary' "
+            "error: --json only applies to 'sched', 'serve', 'traffic', "
+            "'traffic-replay', 'store ls/stats', 'scenario ls' and "
+            "'trace show/summary' "
             "(use 'trace export --format json' for raw spans)",
             file=sys.stderr,
         )
         return 2
     if args.experiment != "trace" and (
-        args.format is not None or args.out is not None or args.limit is not None
+        args.format is not None or args.limit is not None
     ):
         print(
-            "error: --format/--out/--limit only apply to 'trace'",
+            "error: --format/--limit only apply to 'trace'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out is not None and not (
+        args.experiment == "trace"
+        or (args.experiment == "traffic" and args.subargs[:1] == ["gen"])
+    ):
+        print(
+            "error: --out only applies to 'trace export' and 'traffic gen'",
             file=sys.stderr,
         )
         return 2
@@ -1270,6 +1515,10 @@ def main(argv: list[str] | None = None) -> int:
                 return _sched_command(args, session)
             if args.experiment == "serve":
                 return _serve_command(args, session)
+            if args.experiment == "traffic":
+                return _traffic_command(args, session)
+            if args.experiment == "traffic-replay":
+                return _traffic_replay_command(args, session)
             runner = get_runner(args.experiment)
             kwargs = (
                 {"llc_policy": args.llc_policy, "smt": args.smt}

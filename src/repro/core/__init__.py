@@ -94,6 +94,7 @@ from repro.core.provenance import (
 )
 from repro.core.report import ascii_table, csv_table, shade, text_heatmap
 from repro.sched import runner as _sched_runner  # noqa: F401  (registers sched-replay)
+from repro.traffic import runner as _traffic_runner  # noqa: F401  (registers traffic-replay)
 from repro.core.scalability import (
     HIGH_THRESHOLD,
     LOW_THRESHOLD,

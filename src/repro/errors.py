@@ -46,6 +46,12 @@ class SchedError(ExperimentError):
     description that does not round-trip."""
 
 
+class TrafficError(ExperimentError):
+    """An invalid traffic-generator request: a malformed diurnal curve
+    or workload mix, a traffic-model file that does not round-trip, or
+    a model whose knobs generate no arrivals at all."""
+
+
 class ServeError(ExperimentError):
     """A scheduler-service problem: a malformed API request or
     response, a daemon that cannot bind or is shutting down, or a

@@ -42,6 +42,7 @@ from repro.sched.policy import (
 )
 from repro.sched.runner import DEFAULT_POLICIES, ReplayComparison, SchedReplayRunner
 from repro.sched.scheduler import (
+    HourBucket,
     ReplayReport,
     Scheduler,
     TenantOutcome,
@@ -58,6 +59,7 @@ __all__ = [
     "Cluster",
     "DEFAULT_POLICIES",
     "Decision",
+    "HourBucket",
     "InterferencePolicy",
     "Layout",
     "LocalPort",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 from dataclasses import dataclass, replace
 from typing import Any
 
@@ -331,6 +332,45 @@ class TenantOutcome:
         return TenantOutcome(**payload)
 
 
+@dataclass(frozen=True)
+class HourBucket:
+    """One simulated-hour slice of a replay: the arrivals that landed in
+    it (aggregated by arrival time) plus the bucket's time-weighted
+    utilization (aggregated by residency overlap, so one long tenant
+    contributes to every bucket it spans)."""
+
+    index: int
+    start_s: float
+    end_s: float
+    arrivals: int
+    admitted: int
+    rejected: int
+    violations: int
+    p50_slowdown: float
+    p95_slowdown: float
+    mean_slowdown: float
+    utilization: float
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "violations": self.violations,
+            "p50_slowdown": self.p50_slowdown,
+            "p95_slowdown": self.p95_slowdown,
+            "mean_slowdown": self.mean_slowdown,
+            "utilization": self.utilization,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "HourBucket":
+        return HourBucket(**payload)
+
+
 @dataclass
 class ReplayReport:
     """One policy's full replay: decisions, outcomes, aggregates."""
@@ -383,6 +423,63 @@ class ReplayReport:
         if not adm:
             return 0.0
         return sum(o.achieved_slowdown for o in adm) / len(adm)
+
+    def hourly(self, bucket_s: float) -> "list[HourBucket]":
+        """Slice the replay into ``bucket_s``-second buckets (one per
+        simulated trace hour for a diurnal day).  Arrival-keyed counts
+        (admissions, rejections, violations, slowdown percentiles) land
+        in the bucket of the tenant's arrival; utilization is the
+        residency-overlap area ``Σ threads × overlap`` over the bucket's
+        slot-seconds, which reconstructs the driver's global
+        ``used_slots`` accounting exactly (``Machine.used_slots`` is the
+        sum of resident threads), so the time-weighted mean of the
+        buckets equals the report's headline ``utilization``.  The last
+        bucket is clipped to ``sim_time_s``.  Pure post-processing — a
+        stored report buckets identically to a live one."""
+        if bucket_s <= 0:
+            raise SchedError("bucket_s must be > 0")
+        span = max(self.sim_time_s, 0.0)
+        n = max(1, math.ceil(span / bucket_s)) if span > 0 else 1
+        by_bucket: list[list[TenantOutcome]] = [[] for _ in range(n)]
+        for o in self.outcomes:
+            idx = min(int(o.arrival_s // bucket_s), n - 1)
+            by_bucket[idx].append(o)
+        buckets: list[HourBucket] = []
+        for i in range(n):
+            start = i * bucket_s
+            end = min((i + 1) * bucket_s, span) if span > 0 else bucket_s
+            width = max(end - start, 0.0)
+            area = 0.0
+            if width > 0 and self.total_slots > 0:
+                for o in self.outcomes:
+                    if not o.admitted:
+                        continue
+                    overlap = min(o.end_s, end) - max(o.arrival_s, start)
+                    if overlap > 0:
+                        area += o.threads * overlap
+            outs = by_bucket[i]
+            adm = [o for o in outs if o.admitted]
+            slowdowns = [o.achieved_slowdown for o in adm]
+            buckets.append(
+                HourBucket(
+                    index=i,
+                    start_s=start,
+                    end_s=end,
+                    arrivals=len(outs),
+                    admitted=len(adm),
+                    rejected=len(outs) - len(adm),
+                    violations=sum(1 for o in adm if o.violated),
+                    p50_slowdown=percentile(slowdowns, 0.50),
+                    p95_slowdown=percentile(slowdowns, 0.95),
+                    mean_slowdown=(
+                        sum(slowdowns) / len(slowdowns) if slowdowns else 0.0
+                    ),
+                    utilization=(
+                        area / (self.total_slots * width) if width > 0 else 0.0
+                    ),
+                )
+            )
+        return buckets
 
     # -- serialization ------------------------------------------------------
 

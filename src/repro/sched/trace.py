@@ -46,11 +46,20 @@ class TraceEvent:
     workload: str = ""
     threads: int = 0
     solo_s: float = 0.0
+    #: Advisory placement hint ("cat" / "pin" / ""): generators may mark
+    #: an arrival as a candidate for cache fencing or core pinning;
+    #: schedulers are free to ignore it.  Empty for plain arrivals, so
+    #: traces without hints keep their historical byte-identical payload.
+    hint: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise SchedError(
                 f"unknown event kind {self.kind!r}; use one of {EVENT_KINDS}"
+            )
+        if self.hint not in ("", "cat", "pin"):
+            raise SchedError(
+                f"{self.tenant}: unknown hint {self.hint!r}; use 'cat' or 'pin'"
             )
         if self.time_s < 0:
             raise SchedError(f"{self.tenant}: event time must be >= 0")
@@ -74,6 +83,8 @@ class TraceEvent:
             out["workload"] = self.workload
             out["threads"] = self.threads
             out["solo_s"] = self.solo_s
+            if self.hint:
+                out["hint"] = self.hint
         return out
 
     @staticmethod
@@ -85,6 +96,7 @@ class TraceEvent:
             workload=payload.get("workload", ""),
             threads=payload.get("threads", 0),
             solo_s=payload.get("solo_s", 0.0),
+            hint=payload.get("hint", ""),
         )
 
 
@@ -234,8 +246,15 @@ def load_trace(path: "str | Path") -> ArrivalTrace:
 def parse_trace(spec: str, workloads: Sequence[str]) -> ArrivalTrace:
     """Parse a CLI trace spec: ``seed:S:N[:T[:D]]`` (synthetic — seed S,
     N arrivals, T threads each, default 2; D > 0 additionally
-    synthesizes early departures for that fraction of arrivals) or a
-    trace-file path."""
+    synthesizes early departures for that fraction of arrivals),
+    ``diurnal:S[:H[:T]]`` (a diurnal open-loop day from
+    :mod:`repro.traffic` — seed S, H trace hours, time scale T), or a
+    trace-file path.  See ``docs/trace-format.md`` for the grammar."""
+    if spec.startswith("diurnal:"):
+        # Lazy import: sched must stay importable without traffic.
+        from repro.traffic.model import parse_diurnal
+
+        return parse_diurnal(spec, workloads)
     if spec.startswith("seed:"):
         parts = spec.split(":")
         try:

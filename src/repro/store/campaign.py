@@ -98,6 +98,7 @@ _STATIC_COST = {
     "allocation": 45,
     "scenario-set": 40,
     "sched-replay": 42,
+    "traffic-replay": 44,
     "cat-sweep": 38,
     "table3": 35,
     "fig4": 30,

@@ -1,0 +1,121 @@
+"""Piecewise diurnal rate curves over a time-scaled simulated clock.
+
+A :class:`DiurnalCurve` holds 24 hourly rate multipliers and a
+``time_scale_factor`` that compresses trace time into simulated time
+the same way brad's ``get_time_of_the_day_unsimulated`` does: one
+simulated minute advances the trace clock by ``time_scale_factor``
+minutes, so at the default factor of 60 a full 24-hour trace day
+elapses in 1440 simulated seconds.  The curve is pure arithmetic — no
+randomness — which keeps the thinning sampler's determinism contract
+confined to :mod:`repro.traffic.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TrafficError
+
+#: Hours in a trace day; a curve always carries exactly this many knots.
+HOURS_PER_DAY = 24
+
+#: The default business-hours multipliers: a quiet night trough, a
+#: morning ramp to the midday peak, and an evening decay.  Peak (1.0 at
+#: hour 10) over trough (0.10 at hours 02–03) is 10x, comfortably above
+#: the >= 3x contrast the traffic-replay acceptance check looks for.
+BUSINESS_HOURS = (
+    0.15, 0.12, 0.10, 0.10, 0.12, 0.18,  # 00-05  night trough
+    0.30, 0.55, 0.80, 0.95, 1.00, 0.95,  # 06-11  morning ramp to peak
+    0.85, 0.80, 0.85, 0.90, 0.85, 0.70,  # 12-17  afternoon plateau
+    0.55, 0.45, 0.40, 0.30, 0.22, 0.18,  # 18-23  evening decay
+)
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """24 hourly rate multipliers plus the simulated-to-trace time map."""
+
+    multipliers: tuple[float, ...] = BUSINESS_HOURS
+    #: Trace minutes that elapse per simulated minute (brad's knob).
+    time_scale_factor: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "multipliers", tuple(float(m) for m in self.multipliers))
+        if len(self.multipliers) != HOURS_PER_DAY:
+            raise TrafficError(
+                f"a diurnal curve needs exactly {HOURS_PER_DAY} hourly "
+                f"multipliers, got {len(self.multipliers)}"
+            )
+        if any(m <= 0 for m in self.multipliers):
+            raise TrafficError("diurnal multipliers must all be > 0")
+        if self.time_scale_factor <= 0:
+            raise TrafficError("time_scale_factor must be > 0")
+
+    # -- the simulated clock ------------------------------------------------
+
+    @property
+    def sim_s_per_hour(self) -> float:
+        """Simulated seconds that cover one trace hour."""
+        return 3600.0 / self.time_scale_factor
+
+    @property
+    def sim_s_per_day(self) -> float:
+        """Simulated seconds that cover one full trace day."""
+        return self.sim_s_per_hour * HOURS_PER_DAY
+
+    def minute_of_day(self, sim_s: float) -> int:
+        """Trace-clock minute-of-day for a simulated instant (brad's
+        ``get_time_of_the_day_unsimulated``: simulated minutes times the
+        scale factor, wrapped at midnight)."""
+        return int(sim_s / 60.0 * self.time_scale_factor) % (HOURS_PER_DAY * 60)
+
+    def hour_of_day(self, sim_s: float) -> int:
+        return self.minute_of_day(sim_s) // 60
+
+    def multiplier_at(self, sim_s: float) -> float:
+        """The rate multiplier in force at a simulated instant."""
+        return self.multipliers[self.hour_of_day(sim_s)]
+
+    @property
+    def peak_multiplier(self) -> float:
+        return max(self.multipliers)
+
+    @property
+    def peak_hour(self) -> int:
+        return self.multipliers.index(self.peak_multiplier)
+
+    @property
+    def trough_hour(self) -> int:
+        return self.multipliers.index(min(self.multipliers))
+
+    # -- builders -----------------------------------------------------------
+
+    @staticmethod
+    def business_hours(time_scale_factor: float = 60.0) -> "DiurnalCurve":
+        """The default shape: quiet night, morning ramp, midday peak."""
+        return DiurnalCurve(BUSINESS_HOURS, time_scale_factor)
+
+    @staticmethod
+    def flat(level: float = 1.0, time_scale_factor: float = 60.0) -> "DiurnalCurve":
+        """A degenerate curve — constant rate; useful for isolating the
+        mix from the shape in tests."""
+        return DiurnalCurve((level,) * HOURS_PER_DAY, time_scale_factor)
+
+    # -- round-trip ---------------------------------------------------------
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "multipliers": list(self.multipliers),
+            "time_scale_factor": self.time_scale_factor,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "DiurnalCurve":
+        try:
+            return DiurnalCurve(
+                multipliers=tuple(payload["multipliers"]),
+                time_scale_factor=float(payload.get("time_scale_factor", 60.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TrafficError(f"bad diurnal-curve payload: {exc}") from None

@@ -1,0 +1,176 @@
+"""Per-workload arrival mixes: weights, shapes, and hint propensities.
+
+A :class:`WorkloadMix` is the "what arrives" half of a traffic model
+(the :class:`~repro.traffic.diurnal.DiurnalCurve` is the "when").  Each
+:class:`WorkloadComponent` carries an arrival-frequency weight, the
+tenant shape (threads), the solo-work-size window, an optional
+per-workload minimum execution gap (brad's repeating-analytics runners
+sleep a gap between consecutive runs of the same query class), and
+optional propensities for the generator to stamp advisory ``cat`` /
+``pin`` placement hints on the arrival.
+
+``pick`` is deliberately *not* a wrapper around ``random.choices`` — it
+consumes exactly one pre-drawn uniform float so the traffic model's
+draw-order contract stays explicit and auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import TrafficError
+
+
+@dataclass(frozen=True)
+class WorkloadComponent:
+    """One workload's slice of the mix."""
+
+    workload: str
+    #: Relative arrival frequency (any positive scale; normalized at pick).
+    weight: float = 1.0
+    #: Tenant shape — engine slots an admitted arrival occupies.
+    threads: int = 2
+    #: Uniform window the solo work size is drawn from, seconds.
+    solo_s: tuple[float, float] = (4.0, 9.0)
+    #: Mean minimum gap between consecutive arrivals of *this* workload,
+    #: simulated seconds (0 disables; drawn exponentially per arrival).
+    gap_s: float = 0.0
+    #: Probability an arrival carries the advisory "cat" hint.
+    cat_propensity: float = 0.0
+    #: Probability an arrival carries the advisory "pin" hint (a cat
+    #: hint wins if both fire — one arrival carries at most one hint).
+    pin_propensity: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "solo_s", tuple(float(s) for s in self.solo_s))
+        if not self.workload:
+            raise TrafficError("a mix component needs a workload name")
+        if self.weight <= 0:
+            raise TrafficError(f"{self.workload}: weight must be > 0")
+        if self.threads < 1:
+            raise TrafficError(f"{self.workload}: threads must be >= 1")
+        lo, hi = self.solo_s
+        if lo <= 0 or hi < lo:
+            raise TrafficError(
+                f"{self.workload}: solo_s window must satisfy 0 < lo <= hi"
+            )
+        if self.gap_s < 0:
+            raise TrafficError(f"{self.workload}: gap_s must be >= 0")
+        for name in ("cat_propensity", "pin_propensity"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise TrafficError(
+                    f"{self.workload}: {name} must lie in [0, 1], got {p}"
+                )
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "workload": self.workload,
+            "weight": self.weight,
+            "threads": self.threads,
+            "solo_s": list(self.solo_s),
+        }
+        if self.gap_s:
+            out["gap_s"] = self.gap_s
+        if self.cat_propensity:
+            out["cat_propensity"] = self.cat_propensity
+        if self.pin_propensity:
+            out["pin_propensity"] = self.pin_propensity
+        return out
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "WorkloadComponent":
+        try:
+            return WorkloadComponent(
+                workload=payload["workload"],
+                weight=float(payload.get("weight", 1.0)),
+                threads=int(payload.get("threads", 2)),
+                solo_s=tuple(payload.get("solo_s", (4.0, 9.0))),
+                gap_s=float(payload.get("gap_s", 0.0)),
+                cat_propensity=float(payload.get("cat_propensity", 0.0)),
+                pin_propensity=float(payload.get("pin_propensity", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TrafficError(f"bad mix-component payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """An ordered roster of weighted components."""
+
+    components: tuple[WorkloadComponent, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "components", tuple(self.components))
+        if not self.components:
+            raise TrafficError("a workload mix needs at least one component")
+        seen: set[str] = set()
+        for c in self.components:
+            if c.workload in seen:
+                raise TrafficError(f"workload {c.workload!r} appears twice in the mix")
+            seen.add(c.workload)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        return tuple(c.workload for c in self.components)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(c.weight for c in self.components)
+
+    def component(self, workload: str) -> WorkloadComponent:
+        for c in self.components:
+            if c.workload == workload:
+                return c
+        raise TrafficError(
+            f"no component for workload {workload!r}; have "
+            f"{', '.join(self.workloads)}"
+        )
+
+    def pick(self, u: float) -> WorkloadComponent:
+        """Map one uniform draw in [0, 1) onto the cumulative weight
+        line.  Component order is significant — it fixes which workload
+        a given draw selects, part of the determinism contract."""
+        target = u * self.total_weight
+        acc = 0.0
+        for c in self.components:
+            acc += c.weight
+            if target < acc:
+                return c
+        return self.components[-1]
+
+    # -- builders -----------------------------------------------------------
+
+    @staticmethod
+    def uniform(
+        workloads: Sequence[str],
+        *,
+        threads: int = 2,
+        solo_s: tuple[float, float] = (4.0, 9.0),
+    ) -> "WorkloadMix":
+        """Equal weights over a roster — the no-opinion default a
+        session's workload list expands to."""
+        if not workloads:
+            raise TrafficError("a workload mix needs a roster")
+        return WorkloadMix(
+            tuple(
+                WorkloadComponent(workload=w, threads=threads, solo_s=solo_s)
+                for w in workloads
+            )
+        )
+
+    # -- round-trip ---------------------------------------------------------
+
+    def payload(self) -> dict[str, Any]:
+        return {"components": [c.payload() for c in self.components]}
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "WorkloadMix":
+        comps = payload.get("components")
+        if not isinstance(comps, list):
+            raise TrafficError("bad workload-mix payload: no components list")
+        return WorkloadMix(tuple(WorkloadComponent.from_payload(c) for c in comps))

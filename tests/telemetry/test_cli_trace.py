@@ -132,7 +132,11 @@ class TestStoreStats:
 class TestFlagGuards:
     def test_format_only_for_trace(self, capsys):
         code, _, err = run(capsys, ["fig2", "--format", "chrome"])
-        assert code == 2 and "--format/--out/--limit" in err
+        assert code == 2 and "--format/--limit" in err
+
+    def test_out_only_for_trace_export_and_traffic_gen(self, capsys):
+        code, _, err = run(capsys, ["fig2", "--out", "x.json"])
+        assert code == 2 and "--out only applies" in err
 
     def test_json_guard_mentions_new_surfaces(self, capsys):
         code, _, err = run(capsys, ["fig2", "--json"])

@@ -1,0 +1,90 @@
+"""Tests for scripts/check_docs.py — the doc-vs-CLI drift checker —
+plus the acceptance check itself: the committed docs must be clean."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", ROOT / "scripts" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestLineExtraction:
+    def test_only_fenced_cli_lines_are_kept(self):
+        text = "\n".join(
+            [
+                "Use `repro fig5 --store DIR` in prose — not extracted.",
+                "```bash",
+                "PYTHONPATH=src python -m repro.cli fig5 --store .st",
+                "PYTHONPATH=src python -m pytest -x -q --store bogus",
+                "ls --color",
+                "```",
+                "python -m repro.cli run-all --shard 1/2  # outside the fence",
+            ]
+        )
+        lines = [line for _, line in check_docs.iter_cli_lines(text)]
+        assert lines == ["PYTHONPATH=src python -m repro.cli fig5 --store .st"]
+
+    def test_backslash_continuations_are_followed(self):
+        text = "\n".join(
+            [
+                "```bash",
+                "PYTHONPATH=src python -m repro.cli sched replay \\",
+                "    --trace seed:0:10 --policy baseline",
+                "--orphan-flag-not-part-of-any-invocation",
+                "```",
+            ]
+        )
+        lines = [line for _, line in check_docs.iter_cli_lines(text)]
+        assert len(lines) == 2
+        assert lines[1] == "--trace seed:0:10 --policy baseline"
+
+    def test_flags_are_parsed_out_of_kept_lines(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```bash\nrepro traffic gen --seed 5 --out day.json\n```\n"
+        )
+        flags = [f for _, _, f in check_docs.documented_flags([doc])]
+        assert flags == ["--seed", "--out"]
+
+
+class TestValidation:
+    def test_known_flags_cover_the_live_surface(self):
+        known = check_docs.known_flags()
+        for flag in ("--store", "--trace", "--traffic", "--hours", "--json"):
+            assert flag in known
+
+    def test_a_stale_flag_is_caught(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```bash\npython -m repro.cli fig5 --frobnicate-quickly\n```\n"
+        )
+        flags = check_docs.documented_flags([doc])
+        known = check_docs.known_flags()
+        stale = [f for _, _, f in flags if f not in known]
+        assert stale == ["--frobnicate-quickly"]
+
+
+class TestCommittedDocs:
+    def test_readme_and_docs_have_no_stale_flags(self):
+        # The acceptance criterion itself: every --flag the committed
+        # prose documents must exist on the argparse surface.
+        flags = check_docs.documented_flags(check_docs.doc_files(ROOT))
+        assert flags, "the docs should document at least one CLI flag"
+        known = check_docs.known_flags()
+        stale = [
+            (str(p.relative_to(ROOT)), n, f)
+            for p, n, f in flags
+            if f not in known
+        ]
+        assert stale == []
+
+    def test_both_doc_pages_exist_and_are_readme_linked(self):
+        readme = (ROOT / "README.md").read_text()
+        for page in ("docs/architecture.md", "docs/trace-format.md"):
+            assert (ROOT / page).is_file(), page
+            assert page in readme, f"README does not link {page}"

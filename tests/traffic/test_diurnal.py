@@ -1,0 +1,79 @@
+"""Tests for the diurnal curve: validation, the brad-style simulated
+clock, and the payload round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import DiurnalCurve
+from repro.traffic.diurnal import BUSINESS_HOURS, HOURS_PER_DAY
+
+
+class TestValidation:
+    def test_needs_exactly_24_multipliers(self):
+        with pytest.raises(TrafficError, match="exactly 24"):
+            DiurnalCurve((1.0,) * 23)
+        with pytest.raises(TrafficError, match="exactly 24"):
+            DiurnalCurve((1.0,) * 25)
+
+    def test_multipliers_must_be_positive(self):
+        bad = (1.0,) * 23 + (0.0,)
+        with pytest.raises(TrafficError, match="> 0"):
+            DiurnalCurve(bad)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(TrafficError, match="time_scale_factor"):
+            DiurnalCurve(BUSINESS_HOURS, time_scale_factor=0)
+
+
+class TestClock:
+    def test_default_scale_compresses_a_day_into_1440_s(self):
+        c = DiurnalCurve.business_hours()
+        assert c.sim_s_per_hour == 60.0
+        assert c.sim_s_per_day == 1440.0
+
+    def test_minute_of_day_matches_brad_formula(self):
+        # time_diff = sim_minutes * scale, wrapped at midnight.
+        c = DiurnalCurve.business_hours(time_scale_factor=60.0)
+        assert c.minute_of_day(0.0) == 0
+        assert c.minute_of_day(1.0) == 1
+        assert c.minute_of_day(60.0) == 60      # one sim-minute = one hour
+        assert c.minute_of_day(1440.0) == 0     # wraps after a full day
+        assert c.minute_of_day(1500.0) == 60
+
+    def test_hour_of_day_and_multiplier_at(self):
+        c = DiurnalCurve.business_hours()
+        assert c.hour_of_day(0.0) == 0
+        assert c.hour_of_day(10 * 60.0) == 10
+        assert c.multiplier_at(10 * 60.0) == BUSINESS_HOURS[10]
+        assert c.multiplier_at(2 * 60.0) == BUSINESS_HOURS[2]
+
+    def test_slower_scale_stretches_the_day(self):
+        c = DiurnalCurve.business_hours(time_scale_factor=30.0)
+        assert c.sim_s_per_hour == 120.0
+        assert c.hour_of_day(120.0) == 1
+
+
+class TestShape:
+    def test_business_hours_peak_at_least_3x_trough(self):
+        c = DiurnalCurve.business_hours()
+        assert c.peak_multiplier / min(c.multipliers) >= 3.0
+        assert c.peak_hour == 10
+        assert c.trough_hour in (2, 3)
+
+    def test_flat_is_constant(self):
+        c = DiurnalCurve.flat(0.5)
+        assert set(c.multipliers) == {0.5}
+        assert len(c.multipliers) == HOURS_PER_DAY
+
+
+class TestRoundTrip:
+    def test_payload_round_trips(self):
+        c = DiurnalCurve.business_hours(time_scale_factor=12.0)
+        again = DiurnalCurve.from_payload(json.loads(json.dumps(c.payload())))
+        assert again == c
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(TrafficError, match="payload"):
+            DiurnalCurve.from_payload({"time_scale_factor": 60.0})

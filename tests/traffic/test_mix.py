@@ -1,0 +1,101 @@
+"""Tests for the workload mix: validation, the cumulative-weight pick,
+and the payload round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import WorkloadComponent, WorkloadMix
+
+
+class TestComponentValidation:
+    def test_needs_name_and_positive_weight(self):
+        with pytest.raises(TrafficError, match="workload name"):
+            WorkloadComponent(workload="")
+        with pytest.raises(TrafficError, match="weight"):
+            WorkloadComponent(workload="a", weight=0)
+
+    def test_solo_window_and_threads(self):
+        with pytest.raises(TrafficError, match="solo_s"):
+            WorkloadComponent(workload="a", solo_s=(5.0, 4.0))
+        with pytest.raises(TrafficError, match="solo_s"):
+            WorkloadComponent(workload="a", solo_s=(0.0, 4.0))
+        with pytest.raises(TrafficError, match="threads"):
+            WorkloadComponent(workload="a", threads=0)
+
+    def test_propensities_bounded(self):
+        with pytest.raises(TrafficError, match="cat_propensity"):
+            WorkloadComponent(workload="a", cat_propensity=1.5)
+        with pytest.raises(TrafficError, match="pin_propensity"):
+            WorkloadComponent(workload="a", pin_propensity=-0.1)
+
+    def test_gap_must_be_nonnegative(self):
+        with pytest.raises(TrafficError, match="gap_s"):
+            WorkloadComponent(workload="a", gap_s=-1.0)
+
+
+class TestMix:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(TrafficError, match="at least one"):
+            WorkloadMix(())
+        with pytest.raises(TrafficError, match="twice"):
+            WorkloadMix(
+                (WorkloadComponent(workload="a"), WorkloadComponent(workload="a"))
+            )
+
+    def test_pick_walks_the_cumulative_weight_line(self):
+        mix = WorkloadMix(
+            (
+                WorkloadComponent(workload="a", weight=1.0),
+                WorkloadComponent(workload="b", weight=3.0),
+            )
+        )
+        # total weight 4: [0, 1) -> a, [1, 4) -> b.
+        assert mix.pick(0.0).workload == "a"
+        assert mix.pick(0.24).workload == "a"
+        assert mix.pick(0.25).workload == "b"
+        assert mix.pick(0.999).workload == "b"
+
+    def test_pick_order_is_component_order(self):
+        # Same weights, swapped order: the same draw selects the other
+        # workload — component order is part of the determinism contract.
+        ab = WorkloadMix.uniform(("a", "b"))
+        ba = WorkloadMix.uniform(("b", "a"))
+        assert ab.pick(0.1).workload == "a"
+        assert ba.pick(0.1).workload == "b"
+
+    def test_uniform_builder_and_lookup(self):
+        mix = WorkloadMix.uniform(("x", "y"), threads=3, solo_s=(2.0, 4.0))
+        assert mix.workloads == ("x", "y")
+        assert mix.component("y").threads == 3
+        assert mix.component("y").solo_s == (2.0, 4.0)
+        with pytest.raises(TrafficError, match="no component"):
+            mix.component("z")
+        with pytest.raises(TrafficError, match="roster"):
+            WorkloadMix.uniform(())
+
+
+class TestRoundTrip:
+    def test_payload_round_trips_with_optional_knobs(self):
+        mix = WorkloadMix(
+            (
+                WorkloadComponent(
+                    workload="a", weight=2.0, threads=4, solo_s=(1.0, 2.0),
+                    gap_s=5.0, cat_propensity=0.3, pin_propensity=0.1,
+                ),
+                WorkloadComponent(workload="b"),
+            )
+        )
+        again = WorkloadMix.from_payload(json.loads(json.dumps(mix.payload())))
+        assert again == mix
+
+    def test_zero_knobs_stay_out_of_the_payload(self):
+        payload = WorkloadComponent(workload="a").payload()
+        assert "gap_s" not in payload
+        assert "cat_propensity" not in payload
+        assert "pin_propensity" not in payload
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(TrafficError, match="components"):
+            WorkloadMix.from_payload({})
